@@ -1,0 +1,32 @@
+"""Benchmark: design-choice ablations (detection calls, reexpression mask, unshared files)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import ablations
+
+
+def test_ablation_detection_latency(benchmark):
+    """Detection syscalls catch corrupted UIDs at first use, not at the next kernel call."""
+    result = benchmark(ablations.run_detection_latency)
+    emit("Ablation 1: detection syscalls vs syscall-boundary monitoring", result.format())
+    assert result.with_detection_calls is not None
+    assert result.without_detection_calls is not None
+    assert result.with_detection_calls < result.without_detection_calls
+
+
+def test_ablation_reexpression_mask(benchmark):
+    """XOR 0xFFFFFFFF breaks normal operation; XOR 0x7FFFFFFF works but has the sign-bit blind spot."""
+    result = benchmark(ablations.run_mask_ablation)
+    emit("Ablation 2: reexpression mask", result.format())
+    assert result.paper_mask_serves_normally
+    assert result.full_flip_breaks_normal_operation
+    assert result.paper_mask_high_bit_blind_spot
+    assert result.full_flip_closes_blind_spot
+
+
+def test_ablation_unshared_files(benchmark):
+    """Unshared files close the in-process reexpression bypass (Section 3.4)."""
+    result = benchmark(ablations.run_external_data_ablation)
+    emit("Ablation 3: unshared files vs in-process reexpression", result.format())
+    assert result.unshared_files_detects_injection
+    assert not result.in_process_reexpression_detects_injection

@@ -1,0 +1,14 @@
+"""Benchmark: the detection matrix (the paper's central security claims)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import detection
+
+
+def test_detection_matrix(benchmark):
+    """Every in-guarantee attack is detected; the unprotected server is compromised."""
+    result = benchmark.pedantic(detection.run, rounds=1, iterations=1)
+    emit("Detection matrix", result.format())
+    claims = result.claim_results()
+    assert all(claims.values()), claims
+    assert result.all_claims_hold

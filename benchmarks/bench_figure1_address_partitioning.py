@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the Figure 1 scenario (address-space partitioning)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import figure1
+
+
+def test_figure1_address_partitioning(benchmark):
+    """Benign requests are served equivalently; absolute-address injection is detected."""
+    result = benchmark(figure1.run)
+    emit("Figure 1: Two-variant address partitioning", result.format())
+    assert result.reproduces_figure
+    assert result.equivalence.holds
+    # The same attacks succeed (or at worst crash) against a single process.
+    assert any(outcome.goal_reached for outcome in result.single_outcomes)
+    # Under partitioning every injection is detected.
+    assert all(outcome.detected for outcome in result.nvariant_outcomes)

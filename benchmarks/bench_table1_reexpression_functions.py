@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (reexpression functions and their properties)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import table1
+
+
+def test_table1_reexpression_functions(benchmark):
+    """All four variations satisfy the inverse and disjointedness properties."""
+    result = benchmark(table1.run)
+    emit("Table 1: Reexpression Functions", result.format())
+    assert result.all_hold
+    assert len(result.rows) == 4
+    uid_row = next(row for row in result.rows if row.target_type == "uid")
+    assert "0x7FFFFFFF" in uid_row.reexpression.upper() or "7FFFFFFF" in uid_row.reexpression

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 2 (detection system calls) with live behaviour checks."""
+
+from conftest import emit
+
+from repro.analysis.experiments import table2
+
+
+def test_table2_detection_syscalls(benchmark):
+    """Every Table 2 call is silent on equivalent data and alarms on injected data."""
+    result = benchmark(table2.run)
+    emit("Table 2: Detection System Calls", result.format())
+    assert result.all_correct
+    assert len(result.checks) == 8

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 3 (throughput and latency of the four configurations)."""
+
+from conftest import emit
+
+from repro.analysis.experiments import table3
+
+
+def test_table3_performance(benchmark):
+    """The shape of Table 3 holds: cheap transformation, ~halved saturated
+    throughput for two variants, small incremental UID-variation cost."""
+    result = benchmark(table3.run)
+    emit("Table 3: Performance Results", result.format())
+    shape = result.shape_holds()
+    assert all(shape.values()), shape
+
+    # Every configuration must have served the whole workload without alarms.
+    for configuration in result.configurations:
+        assert configuration.measurement.completed_ok, configuration.key
+
+
+def test_table3_per_configuration_overheads(benchmark):
+    """Quantitative overhead directions match the paper's Table 3."""
+    result = benchmark.pedantic(table3.run, kwargs={"requests": 30}, rounds=1, iterations=1)
+    # Unsaturated: redundant execution costs something, but far less than 2x.
+    unsat_drop = result.overhead_vs_baseline("3-2variant-address", saturated=False)
+    assert -30.0 < unsat_drop < -1.0
+    # Saturated: computation is duplicated, so throughput roughly halves.
+    sat_drop = result.overhead_vs_baseline("3-2variant-address", saturated=True)
+    assert -65.0 < sat_drop < -40.0
+    # The UID variation's additional cost over the 2-variant baseline is small.
+    assert -10.0 < result.uid_overhead_vs_2variant(saturated=True) <= 0.0
+    assert -10.0 < result.uid_overhead_vs_2variant(saturated=False) <= 0.0

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper; the formatted
+output is printed (visible with ``pytest benchmarks/ --benchmark-only -s``)
+and the paper's qualitative claims are asserted so a regression in the
+reproduction fails the harness rather than silently producing a different
+table.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, text: str) -> None:
+    """Print a formatted experiment report under a clear banner."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Table 3 performance study, with a workload-size sweep.
+
+Regenerates the Table 3 comparison (unmodified / transformed / 2-variant
+address / 2-variant UID under unsaturated and saturated load) and then sweeps
+the workload size to show that the overhead ratios are stable -- the property
+that makes the paper's conclusion ("additional variations may be performed at
+relatively low cost") robust rather than an artefact of one measurement
+point.
+"""
+
+from repro.analysis.experiments import table3
+
+
+def main() -> None:
+    result = table3.run(requests=40)
+    print(result.format())
+    print()
+
+    print("Workload-size sweep (saturated throughput drop vs configuration 1):")
+    print(f"{'requests':>10s}{'2-variant address':>22s}{'2-variant UID vs addr':>24s}")
+    for requests in (10, 20, 40, 80):
+        sweep = table3.run(requests=requests)
+        address_drop = sweep.overhead_vs_baseline("3-2variant-address", saturated=True)
+        uid_extra = sweep.uid_overhead_vs_2variant(saturated=True)
+        print(f"{requests:>10d}{address_drop:>21.1f}%{uid_extra:>23.1f}%")
+
+    print()
+    print("Paper reference points: config 3 = -56% saturated throughput,")
+    print("config 4 = -4.5% relative to config 3 (Table 3 of the paper).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro: reproduction of "Security through Redundant Data Diversity" (DSN 2008).
+
+The package is organised as the paper's system is layered:
+
+* :mod:`repro.kernel` -- simulated Unix kernel substrate (processes,
+  credentials, VFS, descriptors, network, syscalls, detection calls).
+* :mod:`repro.memory` -- simulated address spaces and the memory-corruption
+  primitives attacks operate with.
+* :mod:`repro.isa` -- miniature instruction set for the tagging variation.
+* :mod:`repro.core` -- the N-variant framework with data diversity:
+  reexpression functions, variations, lockstep engine, monitor, wrappers.
+* :mod:`repro.transform` -- mini-C source-to-source UID transformation
+  (Section 3.3 / Section 4 change accounting).
+* :mod:`repro.apps` -- the mini Apache case-study server and the
+  WebBench-style workload generator.
+* :mod:`repro.attacks` -- the attack library and campaign runner.
+* :mod:`repro.analysis` -- virtual-time performance model, metrics, and one
+  experiment driver per paper table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

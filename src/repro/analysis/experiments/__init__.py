@@ -1,0 +1,38 @@
+"""One experiment driver per paper table/figure plus the ablation suite.
+
+Each module exposes ``run()`` returning a structured result with a
+``format()`` method; the benchmark harness in ``benchmarks/`` wraps these and
+EXPERIMENTS.md records their output.
+
+* :mod:`~repro.analysis.experiments.table1` -- reexpression functions.
+* :mod:`~repro.analysis.experiments.table2` -- detection system calls.
+* :mod:`~repro.analysis.experiments.table3` -- performance of the four
+  configurations.
+* :mod:`~repro.analysis.experiments.figure1` -- address-space partitioning.
+* :mod:`~repro.analysis.experiments.figure2` -- the data-diversity pipeline.
+* :mod:`~repro.analysis.experiments.section4` -- transformation effort.
+* :mod:`~repro.analysis.experiments.detection` -- the detection matrix.
+* :mod:`~repro.analysis.experiments.ablations` -- design-choice ablations.
+"""
+
+from repro.analysis.experiments import (
+    ablations,
+    detection,
+    figure1,
+    figure2,
+    section4,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ablations",
+    "detection",
+    "figure1",
+    "figure2",
+    "section4",
+    "table1",
+    "table2",
+    "table3",
+]

@@ -1,0 +1,140 @@
+"""Virtual-time performance model for the Table 3 reproduction.
+
+The paper measures wall-clock throughput and latency of Apache under
+WebBench on a 1.4 GHz Pentium 4.  This reproduction runs on a simulator, so
+absolute wall-clock numbers would be meaningless; instead we charge *virtual
+time* to the resources the paper's analysis identifies:
+
+* CPU work is performed **per variant** (all computation is executed N
+  times), and grows with per-request processing, response bytes copied, the
+  number of system calls, and the cross-variant checks done by the wrappers
+  and monitor;
+* I/O work (disk reads, network sends) is performed **once** regardless of N,
+  because the wrapper layer executes input and output system calls a single
+  time;
+* unsaturated clients additionally see a fixed network round-trip.
+
+Those two facts produce the paper's qualitative result: an I/O-bound
+(unsaturated) server pays a modest price for redundant execution, a
+CPU-bound (saturated) server pays roughly a factor of the number of
+variants, and the UID variation's extra detection system calls cost a few
+percent on top of the 2-variant baseline.
+
+The model consumes :class:`~repro.apps.clients.webbench.WorkloadMeasurement`
+records -- real counts from running the simulated system -- and converts
+them into throughput (KB/s) and latency (ms) under a given client load using
+standard single-server queueing relations (bottleneck throughput and
+Little's law).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.clients.webbench import WorkloadMeasurement
+
+
+@dataclasses.dataclass(frozen=True)
+class CostParameters:
+    """Virtual-time cost constants (microseconds).
+
+    The defaults are calibrated so that the *shape* of Table 3 emerges:
+    CPU demand for a single variant is roughly 10-15% of the unsaturated
+    response time (the rest is I/O and client round-trip), and the wrapper /
+    monitor checking adds a few tens of percent of one variant's CPU demand.
+    """
+
+    #: Fixed CPU cost per request per variant (parsing, dispatch, handling).
+    per_request_cpu: float = 500.0
+    #: CPU cost per response-body byte per variant (copying, formatting).
+    per_byte_cpu: float = 0.005
+    #: CPU cost of servicing one system call (kernel entry/exit + work).
+    per_syscall_cpu: float = 2.0
+    #: CPU cost of one cross-variant equivalence check in the wrapper/monitor.
+    per_check_cpu: float = 4.0
+    #: I/O time per byte moved to/from disk or the network (performed once).
+    io_per_byte: float = 0.004
+    #: Client-observed network round trip added to unsaturated latency.
+    network_rtt: float = 5400.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfPoint:
+    """One cell pair of Table 3: throughput and latency under a load level."""
+
+    throughput_kbps: float
+    latency_ms: float
+
+    def describe(self) -> str:
+        """Compact rendering."""
+        return f"{self.throughput_kbps:8.1f} KB/s  {self.latency_ms:6.2f} ms"
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceDemand:
+    """Per-request service demands derived from a measurement."""
+
+    cpu_us: float
+    io_us: float
+    body_bytes: float
+
+    @property
+    def bottleneck_us(self) -> float:
+        """Service time at the bottleneck resource for a saturated server."""
+        return max(self.cpu_us, self.io_us)
+
+
+class PerformanceModel:
+    """Turns workload measurements into Table 3 style numbers."""
+
+    def __init__(self, parameters: CostParameters | None = None):
+        self.parameters = parameters if parameters is not None else CostParameters()
+
+    # -- demands --------------------------------------------------------------
+
+    def demands(self, measurement: WorkloadMeasurement) -> ResourceDemand:
+        """Per-request CPU and I/O service demands for a configuration."""
+        p = self.parameters
+        requests = max(1, measurement.requests_completed)
+        body_bytes = measurement.response_bytes / requests
+        syscalls_per_request = measurement.syscalls_total / requests
+        checks_per_request = measurement.monitor_checks / requests
+
+        cpu = (
+            p.per_request_cpu * measurement.num_variants
+            + p.per_byte_cpu * body_bytes * measurement.num_variants
+            + p.per_syscall_cpu * syscalls_per_request
+            + p.per_check_cpu * checks_per_request
+        )
+        io_bytes = (measurement.bytes_read + measurement.bytes_written) / requests
+        io = p.io_per_byte * io_bytes
+        return ResourceDemand(cpu_us=cpu, io_us=io, body_bytes=body_bytes)
+
+    # -- load levels ---------------------------------------------------------------
+
+    def unsaturated(self, measurement: WorkloadMeasurement) -> PerfPoint:
+        """A single client engine: latency-bound, mostly I/O and round-trip."""
+        demand = self.demands(measurement)
+        latency_us = demand.cpu_us + demand.io_us + self.parameters.network_rtt
+        throughput = self._throughput_kbps(demand.body_bytes, 1e6 / latency_us)
+        return PerfPoint(throughput_kbps=throughput, latency_ms=latency_us / 1000.0)
+
+    def saturated(self, measurement: WorkloadMeasurement, *, clients: int | None = None) -> PerfPoint:
+        """Many concurrent engines: throughput-bound at the bottleneck resource."""
+        demand = self.demands(measurement)
+        concurrency = clients if clients is not None else max(2, measurement.concurrent_clients)
+        requests_per_second = 1e6 / demand.bottleneck_us
+        throughput = self._throughput_kbps(demand.body_bytes, requests_per_second)
+        latency_ms = concurrency / requests_per_second * 1000.0
+        return PerfPoint(throughput_kbps=throughput, latency_ms=latency_ms)
+
+    @staticmethod
+    def _throughput_kbps(body_bytes: float, requests_per_second: float) -> float:
+        return body_bytes * requests_per_second / 1024.0
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Relative change of *value* against *baseline*, in percent."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline * 100.0

@@ -1,0 +1,1 @@
+"""Application substrates: the case-study web server and its clients."""

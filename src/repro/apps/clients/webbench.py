@@ -1,0 +1,254 @@
+"""WebBench-style workload generation and measurement.
+
+The paper measures Table 3 with WebBench 5.0: client engines issue a mix of
+static page requests against the server and report throughput (KB/s) and
+latency (ms).  This module reproduces the workload side: a deterministic
+static-page request mix, drivers that push the workload through a server
+configuration (single process or N-variant), and a measurement record that
+captures everything the virtual-time performance model needs to turn the run
+into throughput and latency figures.
+
+Because the simulation is single-threaded, "client engines" do not run
+concurrently; instead their count parameterises the performance model's
+saturation calculation (Little's law over the measured per-request service
+demand), which is where the unsaturated/saturated distinction of Table 3 is
+made.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Optional, Sequence
+
+from repro.apps.httpd.http import format_request, parse_response
+from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
+from repro.core.nvariant import NVariantResult, NVariantSystem, UIDCodec
+from repro.core.variations.base import Variation
+from repro.kernel.host import DOCROOT, HTTP_PORT, build_standard_host
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.libc import Libc
+from repro.kernel.scheduler import ProgramRunner
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestMixEntry:
+    """One document in the request mix with its relative weight."""
+
+    path: str
+    weight: int = 1
+
+
+#: The default static mix: URL paths relative to the document root, weighted
+#: towards the small pages as WebBench's static workload is.
+DEFAULT_STATIC_MIX: tuple[RequestMixEntry, ...] = (
+    RequestMixEntry("/index.html", 6),
+    RequestMixEntry("/news.html", 4),
+    RequestMixEntry("/products.html", 3),
+    RequestMixEntry("/catalog.html", 2),
+    RequestMixEntry("/images/logo.gif", 3),
+    RequestMixEntry("/images/banner.jpg", 2),
+    RequestMixEntry("/docs/faq.html", 2),
+    RequestMixEntry("/docs/manual.html", 1),
+    RequestMixEntry("/cgi-data/report.html", 1),
+    RequestMixEntry("/downloads/archive.bin", 1),
+)
+
+
+@dataclasses.dataclass
+class WebBenchWorkload:
+    """A deterministic request sequence in the WebBench style."""
+
+    total_requests: int = 50
+    mix: Sequence[RequestMixEntry] = DEFAULT_STATIC_MIX
+    client_engines: int = 1
+    client_machines: int = 1
+    extra_headers: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def request_paths(self) -> list[str]:
+        """Expand the weighted mix into the ordered request path sequence."""
+        cycle = []
+        for entry in self.mix:
+            cycle.extend([entry.path] * entry.weight)
+        if not cycle:
+            raise ValueError("request mix must not be empty")
+        paths = list(itertools.islice(itertools.cycle(cycle), self.total_requests))
+        return paths
+
+    def request_bytes(self) -> list[bytes]:
+        """The raw request payloads, in order."""
+        return [
+            format_request(path, headers=self.extra_headers) for path in self.request_paths()
+        ]
+
+    @property
+    def concurrent_clients(self) -> int:
+        """Total simultaneous client engines (engines x machines)."""
+        return self.client_engines * self.client_machines
+
+
+#: The paper's unsaturated load: a single client machine running one engine.
+UNSATURATED_WORKLOAD = WebBenchWorkload(total_requests=60, client_engines=1, client_machines=1)
+
+#: The paper's saturated load: 3 client machines x 5 engines each.
+SATURATED_WORKLOAD = WebBenchWorkload(total_requests=120, client_engines=5, client_machines=3)
+
+
+@dataclasses.dataclass
+class WorkloadMeasurement:
+    """Everything measured from one workload run, independent of wall clock.
+
+    The virtual-time performance model (:mod:`repro.analysis.perfmodel`)
+    converts these counts into throughput and latency under a given load.
+    """
+
+    configuration: str
+    num_variants: int
+    requests_sent: int
+    requests_completed: int
+    status_counts: dict[int, int]
+    response_bytes: int
+    syscalls_total: int
+    syscalls_per_variant: list[int]
+    bytes_read: int
+    bytes_written: int
+    replicated_calls: int
+    per_variant_calls: int
+    monitor_checks: int
+    detection_calls: int
+    alarms: int
+    concurrent_clients: int
+
+    @property
+    def completed_ok(self) -> bool:
+        """True when every request produced a response and no alarm fired."""
+        return self.requests_completed == self.requests_sent and self.alarms == 0
+
+    def per_request_syscalls(self) -> float:
+        """Average system calls (summed over variants) per completed request."""
+        if not self.requests_completed:
+            return 0.0
+        return self.syscalls_total / self.requests_completed
+
+
+def _collect_responses(kernel: SimulatedKernel) -> tuple[int, dict[int, int], int]:
+    """Parse every connection's response; returns (completed, statuses, bytes)."""
+    completed = 0
+    statuses: dict[int, int] = {}
+    body_bytes = 0
+    for connection in kernel.network.connections:
+        raw = connection.response_bytes()
+        if not raw:
+            continue
+        status, _, body = parse_response(raw)
+        completed += 1
+        statuses[status] = statuses.get(status, 0) + 1
+        body_bytes += len(body)
+    return completed, statuses, body_bytes
+
+
+def drive_standalone(
+    workload: WebBenchWorkload,
+    *,
+    transformed: bool = False,
+    kernel: Optional[SimulatedKernel] = None,
+    configuration: str = "standalone",
+) -> WorkloadMeasurement:
+    """Run the workload against a single (non-redundant) server process.
+
+    ``transformed=False`` reproduces Configuration 1 of Table 3 (unmodified
+    Apache on the N-variant-capable kernel); ``transformed=True`` reproduces
+    Configuration 2 (the UID-transformed server running as a single process).
+    """
+    kernel = kernel if kernel is not None else build_standard_host()
+    for payload in workload.request_bytes():
+        kernel.client_connect(HTTP_PORT, payload)
+
+    process = kernel.spawn_process("httpd")
+    server = MiniHttpd(
+        Libc(),
+        UIDCodec.identity(),
+        process.address_space,
+        transformed=transformed,
+        max_requests=workload.total_requests,
+    )
+    runner = ProgramRunner(kernel)
+    run_result = runner.run(process, server.run())
+
+    completed, statuses, body_bytes = _collect_responses(kernel)
+    detection_calls = sum(
+        kernel.stats.syscall_breakdown.get(name, 0)
+        for name in ("uid_value", "cond_chk", "cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq")
+    )
+    return WorkloadMeasurement(
+        configuration=configuration,
+        num_variants=1,
+        requests_sent=workload.total_requests,
+        requests_completed=completed,
+        status_counts=statuses,
+        response_bytes=body_bytes,
+        syscalls_total=kernel.stats.syscall_count,
+        syscalls_per_variant=[process.stats.syscall_count],
+        bytes_read=kernel.stats.bytes_read,
+        bytes_written=kernel.stats.bytes_written,
+        replicated_calls=0,
+        per_variant_calls=kernel.stats.syscall_count,
+        monitor_checks=0,
+        detection_calls=detection_calls,
+        alarms=0 if run_result.exited_normally else 1,
+        concurrent_clients=workload.concurrent_clients,
+    )
+
+
+def drive_nvariant(
+    workload: WebBenchWorkload,
+    variations: Sequence[Variation],
+    *,
+    transformed: bool = True,
+    num_variants: int = 2,
+    kernel: Optional[SimulatedKernel] = None,
+    configuration: str = "nvariant",
+) -> tuple[WorkloadMeasurement, NVariantResult]:
+    """Run the workload against an N-variant server configuration.
+
+    ``variations=[AddressPartitioning()], transformed=False`` reproduces
+    Configuration 3 of Table 3; adding ``UIDVariation()`` with
+    ``transformed=True`` reproduces Configuration 4.
+    """
+    kernel = kernel if kernel is not None else build_standard_host()
+    for payload in workload.request_bytes():
+        kernel.client_connect(HTTP_PORT, payload)
+
+    servers: list[MiniHttpd] = []
+    factory = make_httpd_factory(
+        transformed=transformed, max_requests=workload.total_requests, servers=servers
+    )
+    system = NVariantSystem(
+        kernel, factory, list(variations), num_variants=num_variants, name="httpd"
+    )
+    result = system.run()
+
+    completed, statuses, body_bytes = _collect_responses(kernel)
+    detection_calls = sum(
+        kernel.stats.syscall_breakdown.get(name, 0)
+        for name in ("uid_value", "cond_chk", "cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq")
+    )
+    measurement = WorkloadMeasurement(
+        configuration=configuration,
+        num_variants=num_variants,
+        requests_sent=workload.total_requests,
+        requests_completed=completed,
+        status_counts=statuses,
+        response_bytes=body_bytes,
+        syscalls_total=sum(v.syscall_count for v in result.variants),
+        syscalls_per_variant=[v.syscall_count for v in result.variants],
+        bytes_read=kernel.stats.bytes_read,
+        bytes_written=kernel.stats.bytes_written,
+        replicated_calls=result.wrapper_stats.replicated_calls,
+        per_variant_calls=result.wrapper_stats.per_variant_calls,
+        monitor_checks=result.monitor.stats.syscalls_compared,
+        detection_calls=detection_calls,
+        alarms=len(result.alarms),
+        concurrent_clients=workload.concurrent_clients,
+    )
+    return measurement, result

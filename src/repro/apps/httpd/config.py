@@ -1,0 +1,80 @@
+"""Server configuration: a miniature ``httpd.conf``.
+
+The case-study server reads its configuration from a file on the simulated
+host, exactly as Apache does.  The directives relevant to the paper are
+``User`` and ``Group`` -- the names the server maps to numeric ids via
+``/etc/passwd`` before dropping privileges -- and the log paths whose
+ownership makes privilege handling observable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.kernel.host import ACCESS_LOG, DOCROOT, ERROR_LOG, HTTP_PORT
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Parsed server configuration."""
+
+    listen_port: int = HTTP_PORT
+    user: str = "www-data"
+    group: str = "www-data"
+    document_root: str = DOCROOT
+    error_log: str = ERROR_LOG
+    access_log: str = ACCESS_LOG
+    admin_user: str = "root"
+    max_request_size: int = 8192
+
+    def validate(self) -> None:
+        """Sanity-check the configuration values."""
+        if not 0 < self.listen_port < 65536:
+            raise ValueError(f"invalid Listen port {self.listen_port}")
+        if not self.document_root.startswith("/"):
+            raise ValueError("DocumentRoot must be an absolute path")
+        if not self.user:
+            raise ValueError("User directive must not be empty")
+        if not self.group:
+            raise ValueError("Group directive must not be empty")
+
+
+#: Directive name -> (attribute, parser)
+_DIRECTIVES = {
+    "listen": ("listen_port", int),
+    "user": ("user", str),
+    "group": ("group", str),
+    "documentroot": ("document_root", str),
+    "errorlog": ("error_log", str),
+    "accesslog": ("access_log", str),
+    "adminuser": ("admin_user", str),
+    "maxrequestsize": ("max_request_size", int),
+}
+
+
+def parse_config(text: str) -> ServerConfig:
+    """Parse ``httpd.conf`` contents into a :class:`ServerConfig`.
+
+    Unknown directives are ignored (as Apache does for modules that are not
+    loaded); malformed values raise ``ValueError`` so misconfiguration is
+    caught at startup rather than at privilege-drop time.
+    """
+    config = ServerConfig()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed directive on line {line_number}: {raw_line!r}")
+        directive, value = parts[0].lower(), parts[1].strip()
+        entry = _DIRECTIVES.get(directive)
+        if entry is None:
+            continue
+        attribute, parser = entry
+        try:
+            setattr(config, attribute, parser(value))
+        except ValueError as error:
+            raise ValueError(f"bad value for {parts[0]} on line {line_number}: {error}") from error
+    config.validate()
+    return config

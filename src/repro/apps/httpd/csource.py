@@ -1,0 +1,165 @@
+"""Mini-C source of the server's UID-relevant code.
+
+The Python implementation in :mod:`repro.apps.httpd.server` is what actually
+executes; this module carries the same privilege-handling logic expressed in
+the mini-C subset, playing the role Apache's C source plays in Section 4 of
+the paper: it is the input to the automatic UID-variation transformation, and
+the change counts the transformer reports on it are the reproduction of the
+paper's "73 changes" accounting.
+
+The code deliberately follows Apache's idioms (``unixd_set_user``-style
+privilege drops, ``ap_uname2id`` helpers, suexec-like escalation checks, a
+log helper that receives UID values) so the transformation exercises every
+rule: implicit comparisons, UID constants, comparisons in both orders,
+UID-influenced conditionals and UID values passed to ordinary functions.
+"""
+
+#: The UID-relevant portion of the mini-httpd, in the mini-C subset.
+HTTPD_UID_SOURCE = """
+uid_t server_uid = 33;
+gid_t server_gid = 33;
+uid_t admin_uid = 0;
+int restart_pending = 0;
+
+uid_t ap_uname2id(char *name) {
+    passwd *entry = getpwnam(name);
+    if (entry == NULL) {
+        log_error("unknown user", name);
+        return 65534;
+    }
+    return entry->pw_uid;
+}
+
+gid_t ap_gname2id(char *name) {
+    group *entry = getgrnam(name);
+    if (entry == NULL) {
+        log_error("unknown group", name);
+        return 65534;
+    }
+    return entry->gr_gid;
+}
+
+int unixd_setup_child(void) {
+    uid_t target_uid = server_uid;
+    gid_t target_gid = server_gid;
+    if (!geteuid()) {
+        if (setgid(target_gid) < 0) {
+            log_error("setgid failed", "child");
+            return -1;
+        }
+        if (setuid(target_uid) < 0) {
+            log_error("setuid failed", "child");
+            return -1;
+        }
+    }
+    if (geteuid() != target_uid) {
+        log_uid_mismatch(geteuid(), target_uid);
+        return -1;
+    }
+    return 0;
+}
+
+int drop_privileges(uid_t request_uid, gid_t request_gid) {
+    uid_t current = geteuid();
+    if (current == 0) {
+        if (setegid(request_gid) < 0) {
+            return -1;
+        }
+        if (seteuid(request_uid) < 0) {
+            return -1;
+        }
+    }
+    current = geteuid();
+    if (current != request_uid) {
+        log_uid_mismatch(current, request_uid);
+        return -1;
+    }
+    return 0;
+}
+
+int restore_privileges(void) {
+    uid_t current = geteuid();
+    if (current != 0) {
+        if (seteuid(0) < 0) {
+            log_error("cannot restore privileges", "worker");
+            return -1;
+        }
+    }
+    return 0;
+}
+
+int can_access_admin(uid_t request_uid) {
+    if (request_uid == admin_uid) {
+        return 1;
+    }
+    if (request_uid == 0) {
+        return 1;
+    }
+    return 0;
+}
+
+int suexec_check(uid_t caller_uid, uid_t target_uid) {
+    passwd *caller = getpwuid(caller_uid);
+    if (caller == NULL) {
+        log_error("suexec caller lookup failed", "suexec");
+        return -1;
+    }
+    if (target_uid < 100) {
+        log_error("suexec target uid below minimum", caller->pw_name);
+        return -1;
+    }
+    if (caller_uid != 0 && caller_uid != target_uid) {
+        return -1;
+    }
+    if (caller->pw_uid >= 65534) {
+        return -1;
+    }
+    return 0;
+}
+
+int handle_request(char *path, uid_t owner_uid) {
+    int rc = drop_privileges(server_uid, server_gid);
+    if (rc < 0) {
+        return 500;
+    }
+    uid_t current = geteuid();
+    if (owner_uid != current && owner_uid != 0) {
+        passwd *owner = getpwuid(owner_uid);
+        if (owner == NULL) {
+            restore_privileges();
+            return 404;
+        }
+        log_owner(path, owner->pw_uid);
+    }
+    if (can_access_admin(current)) {
+        audit_admin_access(path, current);
+    }
+    int status = serve_file(path);
+    restore_privileges();
+    return status;
+}
+
+void worker_main(void) {
+    uid_t startup_uid = geteuid();
+    if (startup_uid != 0) {
+        log_error("server must start as root", "main");
+        return;
+    }
+    server_uid = ap_uname2id(config_user_name());
+    server_gid = ap_gname2id(config_group_name());
+    admin_uid = ap_uname2id(config_admin_name());
+    if (server_uid == 0) {
+        log_error("refusing to serve requests as root", "main");
+        return;
+    }
+    while (!restart_pending) {
+        char *path = next_request_path();
+        if (path == NULL) {
+            return;
+        }
+        uid_t owner_uid = path_owner(path);
+        int status = handle_request(path, owner_uid);
+        log_request(path, status, geteuid());
+    }
+}
+"""

@@ -1,0 +1,75 @@
+"""Attack library: payload builders, attack drivers and the campaign runner."""
+
+from repro.attacks.code_injection import (
+    CodeInjectionAttack,
+    run_code_injection_tagged,
+    run_code_injection_untagged,
+)
+from repro.attacks.memory_attacks import (
+    AddressInjectionAttack,
+    INJECTED_ABSOLUTE_ADDRESS,
+    run_address_attack_nvariant,
+    run_address_attack_single,
+    standard_address_attacks,
+)
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind, classify
+from repro.attacks.payloads import (
+    DEFAULT_TARGET_FILE,
+    OverflowSpec,
+    banner_pointer_payload,
+    benign_request,
+    traversal_path,
+    uid_and_gid_overwrite_payload,
+    uid_overwrite_payload,
+)
+from repro.attacks.runner import (
+    CampaignConfiguration,
+    CampaignReport,
+    STANDARD_CONFIGURATIONS,
+    run_address_campaign,
+    run_uid_campaign,
+)
+from repro.attacks.uid_attacks import (
+    SHADOW_MARKER,
+    UIDAttack,
+    run_corruption_attack_nvariant,
+    run_corruption_attack_single,
+    run_remote_attack_nvariant,
+    run_remote_attack_single,
+    run_uid_attack,
+    standard_uid_attacks,
+)
+
+__all__ = [
+    "AddressInjectionAttack",
+    "AttackOutcome",
+    "CampaignConfiguration",
+    "CampaignReport",
+    "CodeInjectionAttack",
+    "DEFAULT_TARGET_FILE",
+    "INJECTED_ABSOLUTE_ADDRESS",
+    "OutcomeKind",
+    "OverflowSpec",
+    "SHADOW_MARKER",
+    "STANDARD_CONFIGURATIONS",
+    "UIDAttack",
+    "banner_pointer_payload",
+    "benign_request",
+    "classify",
+    "run_address_attack_nvariant",
+    "run_address_attack_single",
+    "run_address_campaign",
+    "run_code_injection_tagged",
+    "run_code_injection_untagged",
+    "run_corruption_attack_nvariant",
+    "run_corruption_attack_single",
+    "run_remote_attack_nvariant",
+    "run_remote_attack_single",
+    "run_uid_attack",
+    "run_uid_campaign",
+    "standard_address_attacks",
+    "standard_uid_attacks",
+    "traversal_path",
+    "uid_and_gid_overwrite_payload",
+    "uid_overwrite_payload",
+]

@@ -1,0 +1,123 @@
+"""Absolute-address injection attacks (the Figure 1 attack class).
+
+The attack overwrites the server's banner pointer with an attacker-chosen
+absolute address via the same header overflow used by the UID attacks.  On
+the next request the server dereferences the pointer:
+
+* in a single-process deployment the injected address is simply read (an
+  information-disclosure/point-the-program-anywhere primitive);
+* under address-space partitioning the injected address lies in at most one
+  variant's partition, so the sibling variant segfaults and the monitor
+  reports the attack -- the guarantee Figure 1 illustrates.
+
+The extended partitioning variation is also exercised with a *partial*
+pointer overwrite (low bytes only), the case plain partitioning cannot detect
+when the attacker preserves the high byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
+from repro.apps.httpd.vulnerable import BANNER_REGION_BASE
+from repro.attacks.outcomes import AttackOutcome, classify
+from repro.attacks.payloads import banner_pointer_payload, benign_request
+from repro.core.nvariant import NVariantSystem, UIDCodec
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.base import Variation
+from repro.kernel.host import HTTP_PORT, build_standard_host
+from repro.kernel.libc import Libc
+from repro.kernel.scheduler import ProgramRunner
+
+#: An absolute address the attacker aims the banner pointer at: it lies in
+#: variant 0's partition (high bit clear), a few words into the banner region,
+#: so variant 0 reads it happily while variant 1 faults.
+INJECTED_ABSOLUTE_ADDRESS = BANNER_REGION_BASE + 8
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressInjectionAttack:
+    """A pointer-overwrite attack delivered through the header overflow."""
+
+    name: str
+    description: str
+    address: int
+
+    def payload(self) -> bytes:
+        """The corrupting request (a later benign request triggers the use)."""
+        return banner_pointer_payload(self.address)
+
+
+def standard_address_attacks() -> list[AddressInjectionAttack]:
+    """The address-injection attacks used by the Figure 1 experiment."""
+    return [
+        AddressInjectionAttack(
+            name="absolute-address-injection",
+            description="complete pointer overwrite with an absolute address",
+            address=INJECTED_ABSOLUTE_ADDRESS,
+        ),
+        AddressInjectionAttack(
+            name="high-partition-address-injection",
+            description="pointer aimed into the high partition (valid only in variant 1)",
+            address=0x80000000 | INJECTED_ABSOLUTE_ADDRESS,
+        ),
+    ]
+
+
+def run_address_attack_single(attack: AddressInjectionAttack) -> AttackOutcome:
+    """Run the attack against the single-process server."""
+    kernel = build_standard_host()
+    kernel.client_connect(HTTP_PORT, benign_request())
+    kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
+    kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
+
+    process = kernel.spawn_process("httpd")
+    server = MiniHttpd(
+        Libc(), UIDCodec.identity(), process.address_space, transformed=False, max_requests=3
+    )
+    result = ProgramRunner(kernel).run(process, server.run())
+
+    # Goal for the single process: the dereference of the attacker-chosen
+    # address went through (no crash) -- the attacker now controls what the
+    # server reads.
+    goal = result.exited_normally
+    crashed = not result.exited_normally
+    return AttackOutcome(
+        attack=attack.name,
+        configuration="single-process",
+        kind=classify(goal_reached=goal, detected=False, crashed=crashed),
+        goal_reached=goal,
+        detected=False,
+        detail=f"fault={result.process.fault_reason}",
+    )
+
+
+def run_address_attack_nvariant(
+    attack: AddressInjectionAttack,
+    variations: Sequence[Variation] | None = None,
+    *,
+    configuration: str = "2-variant-address",
+) -> AttackOutcome:
+    """Run the attack against an address-partitioned 2-variant system."""
+    variations = list(variations) if variations is not None else [AddressPartitioning()]
+    kernel = build_standard_host()
+    kernel.client_connect(HTTP_PORT, benign_request())
+    kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
+    kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
+
+    factory = make_httpd_factory(transformed=False, max_requests=3)
+    system = NVariantSystem(kernel, factory, variations, num_variants=2, name="httpd")
+    result = system.run()
+
+    detected = result.attack_detected
+    goal = not detected and all(v.exited_normally for v in result.variants)
+    return AttackOutcome(
+        attack=attack.name,
+        configuration=configuration,
+        kind=classify(goal_reached=goal, detected=detected),
+        goal_reached=goal,
+        detected=detected,
+        detail=result.first_alarm().describe() if detected else "no alarm",
+    )

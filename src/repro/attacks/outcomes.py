@@ -1,0 +1,57 @@
+"""Attack outcome classification shared by every attack driver."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class OutcomeKind(enum.Enum):
+    """How an attack attempt ended."""
+
+    #: The attacker reached their goal and no alarm was raised.
+    UNDETECTED_COMPROMISE = "undetected-compromise"
+    #: The monitor raised an alarm (the attack may or may not have progressed
+    #: before being stopped; with the halt policy it never reaches its goal).
+    DETECTED = "detected"
+    #: The attack neither reached its goal nor triggered an alarm (e.g. the
+    #: corruption was absorbed harmlessly or the payload had no effect).
+    NO_EFFECT = "no-effect"
+    #: The attack crashed the (single-variant) service without achieving its
+    #: goal -- an availability loss but not a compromise.
+    CRASHED = "crashed"
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack attempt against one configuration."""
+
+    attack: str
+    configuration: str
+    kind: OutcomeKind
+    goal_reached: bool
+    detected: bool
+    detail: str = ""
+
+    @property
+    def is_security_failure(self) -> bool:
+        """True when the defence failed: compromise without detection."""
+        return self.kind is OutcomeKind.UNDETECTED_COMPROMISE
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"{self.attack:<32} vs {self.configuration:<28} -> {self.kind.value}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+def classify(*, goal_reached: bool, detected: bool, crashed: bool = False) -> OutcomeKind:
+    """Map raw observations onto an :class:`OutcomeKind`."""
+    if detected:
+        return OutcomeKind.DETECTED
+    if goal_reached:
+        return OutcomeKind.UNDETECTED_COMPROMISE
+    if crashed:
+        return OutcomeKind.CRASHED
+    return OutcomeKind.NO_EFFECT

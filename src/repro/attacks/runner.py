@@ -1,0 +1,134 @@
+"""Attack campaign runner: every attack against every configuration.
+
+The detection-matrix experiment (and the EXPERIMENTS.md security table) needs
+a cross product: each attack from the library run against the configurations
+of interest, with the outcome classified.  This module provides that loop and
+a small report structure the benchmarks and docs can render.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.attacks.memory_attacks import (
+    AddressInjectionAttack,
+    run_address_attack_nvariant,
+    run_address_attack_single,
+    standard_address_attacks,
+)
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind
+from repro.attacks.uid_attacks import UIDAttack, run_uid_attack, standard_uid_attacks
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.uid import UIDVariation
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfiguration:
+    """One defended (or undefended) configuration to attack."""
+
+    name: str
+    redundant: bool
+    variations: tuple = ()
+    transformed: bool = True
+
+
+#: The configurations the detection matrix compares, mirroring the paper's
+#: narrative: an undefended server, the address-partitioning baseline and the
+#: UID data-diversity system.
+STANDARD_CONFIGURATIONS: tuple[CampaignConfiguration, ...] = (
+    CampaignConfiguration(name="single-process", redundant=False, transformed=False),
+    CampaignConfiguration(
+        name="2-variant-address",
+        redundant=True,
+        variations=(AddressPartitioning,),
+        transformed=False,
+    ),
+    CampaignConfiguration(
+        name="2-variant-uid",
+        redundant=True,
+        variations=(UIDVariation,),
+        transformed=True,
+    ),
+    CampaignConfiguration(
+        name="2-variant-address+uid",
+        redundant=True,
+        variations=(AddressPartitioning, UIDVariation),
+        transformed=True,
+    ),
+)
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """All outcomes from one campaign plus summary helpers."""
+
+    outcomes: list[AttackOutcome] = dataclasses.field(default_factory=list)
+
+    def add(self, outcome: AttackOutcome) -> None:
+        """Append one outcome."""
+        self.outcomes.append(outcome)
+
+    def by_configuration(self, configuration: str) -> list[AttackOutcome]:
+        """Outcomes recorded against *configuration*."""
+        return [o for o in self.outcomes if o.configuration == configuration]
+
+    def security_failures(self) -> list[AttackOutcome]:
+        """Undetected compromises across the whole campaign."""
+        return [o for o in self.outcomes if o.is_security_failure]
+
+    def detection_rate(self, configuration: str) -> float:
+        """Fraction of attacks detected in *configuration*."""
+        outcomes = self.by_configuration(configuration)
+        if not outcomes:
+            return 0.0
+        detected = sum(1 for o in outcomes if o.kind is OutcomeKind.DETECTED)
+        return detected / len(outcomes)
+
+    def matrix(self) -> dict[str, dict[str, str]]:
+        """``{attack: {configuration: outcome kind}}`` for table rendering."""
+        table: dict[str, dict[str, str]] = {}
+        for outcome in self.outcomes:
+            table.setdefault(outcome.attack, {})[outcome.configuration] = outcome.kind.value
+        return table
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        lines = [o.describe() for o in self.outcomes]
+        failures = self.security_failures()
+        lines.append("")
+        lines.append(f"undetected compromises: {len(failures)}")
+        return "\n".join(lines)
+
+
+def run_uid_campaign(
+    attacks: Sequence[UIDAttack] | None = None,
+    configurations: Sequence[CampaignConfiguration] = STANDARD_CONFIGURATIONS,
+) -> CampaignReport:
+    """Run every UID attack against every configuration."""
+    attacks = list(attacks) if attacks is not None else standard_uid_attacks()
+    report = CampaignReport()
+    for attack in attacks:
+        for configuration in configurations:
+            variations = [cls() for cls in configuration.variations]
+            outcome = run_uid_attack(
+                attack,
+                redundant=configuration.redundant,
+                variations=variations,
+                transformed=configuration.transformed,
+                configuration=configuration.name,
+            )
+            report.add(outcome)
+    return report
+
+
+def run_address_campaign(
+    attacks: Sequence[AddressInjectionAttack] | None = None,
+) -> CampaignReport:
+    """Run the address-injection attacks against single and partitioned setups."""
+    attacks = list(attacks) if attacks is not None else standard_address_attacks()
+    report = CampaignReport()
+    for attack in attacks:
+        report.add(run_address_attack_single(attack))
+        report.add(run_address_attack_nvariant(attack))
+    return report

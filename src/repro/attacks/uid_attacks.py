@@ -1,0 +1,344 @@
+"""UID-corruption attacks (the paper's Section 3 attack class).
+
+Two delivery mechanisms are modelled:
+
+* **Remote overflow attacks** deliver the corruption through the mini-httpd's
+  vulnerable header copy: a single HTTP request both corrupts the cached
+  ``worker_uid`` and asks (via path traversal) for a root-only file, so a
+  successful attack is directly observable in the response.
+* **In-place corruptions** (single-bit flips, including the high-bit flip the
+  31-bit mask cannot see) act directly on the targeted memory word.  They
+  model fault-style attacks such as the heat-lamp attack the paper cites, and
+  they exist mainly to map the *boundary* of the detection guarantee.
+
+Each attack can be run against a single-process server (where the paper's
+claim is that it succeeds) and against any N-variant configuration (where the
+UID variation must detect it, except in the documented high-bit blind spot).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind, classify
+from repro.attacks.payloads import benign_request, traversal_path, uid_overwrite_payload
+from repro.core.nvariant import NVariantSystem, UIDCodec, VariantContext
+from repro.core.variations.base import Variation
+from repro.core.variations.uid import UIDVariation
+from repro.kernel.host import HTTP_PORT, build_standard_host
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.libc import Libc
+from repro.kernel.scheduler import ProgramRunner
+from repro.memory.corruption import CorruptionSpec
+
+#: Marker proving the attacker read /etc/shadow (see the standard host image).
+SHADOW_MARKER = b"secrethash"
+
+
+@dataclasses.dataclass(frozen=True)
+class UIDAttack:
+    """One UID-corruption attack.
+
+    Exactly one of ``payload`` (remote HTTP delivery) or ``corruption``
+    (in-place fault) is set.  ``goal_marker`` is the byte string whose
+    appearance in a response proves a remote attack reached its goal (for the
+    default traversal payloads, content of the root-only shadow file).
+    """
+
+    name: str
+    description: str
+    payload: Optional[bytes] = None
+    corruption: Optional[CorruptionSpec] = None
+    goal_marker: bytes = SHADOW_MARKER
+
+    def __post_init__(self) -> None:
+        if (self.payload is None) == (self.corruption is None):
+            raise ValueError("exactly one of payload or corruption must be provided")
+
+    @property
+    def remote(self) -> bool:
+        """True for attacks delivered over the request channel."""
+        return self.payload is not None
+
+
+def standard_uid_attacks() -> list[UIDAttack]:
+    """The attack suite used by the detection-matrix experiment."""
+    return [
+        UIDAttack(
+            name="full-word-root-overwrite",
+            description="overflow overwrites worker_uid with 0 (root); complete value",
+            payload=uid_overwrite_payload(0),
+        ),
+        UIDAttack(
+            name="full-word-user-overwrite",
+            description="overflow overwrites worker_uid with 1000 (masquerade as alice)",
+            payload=uid_overwrite_payload(1000, path="/../../../home/alice/diary.txt"),
+            goal_marker=b"alice's private notes",
+        ),
+        UIDAttack(
+            name="partial-1-byte-overwrite",
+            description="overflow rewrites only the low byte of worker_uid",
+            payload=uid_overwrite_payload(0, partial_bytes=1),
+        ),
+        UIDAttack(
+            name="partial-2-byte-overwrite",
+            description="overflow rewrites the low two bytes of worker_uid",
+            payload=uid_overwrite_payload(0, partial_bytes=2),
+        ),
+        UIDAttack(
+            name="partial-3-byte-overwrite",
+            description="overflow rewrites the low three bytes of worker_uid",
+            payload=uid_overwrite_payload(0, partial_bytes=3),
+        ),
+        UIDAttack(
+            name="low-bit-flip",
+            description=(
+                "in-place flip of bit 0 of worker_uid (fault-style attack; an "
+                "identical XOR delta commutes with the XOR reexpression, so the "
+                "paper places it outside the remote-attacker guarantee)"
+            ),
+            corruption=CorruptionSpec(kind="bit-flip", payload=0),
+        ),
+        UIDAttack(
+            name="high-bit-flip",
+            description=(
+                "in-place flip of bit 31: the sign bit is the one bit the "
+                "0x7FFFFFFF mask leaves unflipped (Section 3.2's documented "
+                "blind spot); the corrupted value is also a 'negative' UID the "
+                "kernel treats specially"
+            ),
+            corruption=CorruptionSpec(kind="bit-flip", payload=31),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Remote (HTTP-delivered) attacks against the mini-httpd
+# ---------------------------------------------------------------------------
+
+
+def _attack_goal_reached(kernel: SimulatedKernel, marker: bytes = SHADOW_MARKER) -> bool:
+    """True when any response leaked the attack's protected target content."""
+    return any(marker in conn.response_bytes() for conn in kernel.network.connections)
+
+
+def run_remote_attack_single(
+    attack: UIDAttack,
+    *,
+    transformed: bool = False,
+    warmup_requests: int = 1,
+) -> AttackOutcome:
+    """Run a remote attack against the single-process server (no redundancy)."""
+    if not attack.remote:
+        raise ValueError(f"{attack.name} is not a remote attack")
+    kernel = build_standard_host()
+    for _ in range(warmup_requests):
+        kernel.client_connect(HTTP_PORT, benign_request())
+    kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
+
+    process = kernel.spawn_process("httpd")
+    server = MiniHttpd(
+        Libc(),
+        UIDCodec.identity(),
+        process.address_space,
+        transformed=transformed,
+        max_requests=warmup_requests + 1,
+    )
+    result = ProgramRunner(kernel).run(process, server.run())
+
+    goal = _attack_goal_reached(kernel, attack.goal_marker)
+    crashed = not result.exited_normally
+    kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+    return AttackOutcome(
+        attack=attack.name,
+        configuration="single-process" + ("-transformed" if transformed else ""),
+        kind=kind,
+        goal_reached=goal,
+        detected=False,
+        detail=f"exit={result.process.exit_code} fault={result.process.fault_reason}",
+    )
+
+
+def run_remote_attack_nvariant(
+    attack: UIDAttack,
+    variations: Sequence[Variation],
+    *,
+    transformed: bool = True,
+    num_variants: int = 2,
+    warmup_requests: int = 1,
+    configuration: str = "2-variant-uid",
+) -> AttackOutcome:
+    """Run a remote attack against an N-variant configuration."""
+    if not attack.remote:
+        raise ValueError(f"{attack.name} is not a remote attack")
+    kernel = build_standard_host()
+    for _ in range(warmup_requests):
+        kernel.client_connect(HTTP_PORT, benign_request())
+    kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
+
+    factory = make_httpd_factory(transformed=transformed, max_requests=warmup_requests + 1)
+    system = NVariantSystem(
+        kernel, factory, list(variations), num_variants=num_variants, name="httpd"
+    )
+    result = system.run()
+
+    goal = _attack_goal_reached(kernel, attack.goal_marker)
+    detected = result.attack_detected
+    kind = classify(goal_reached=goal, detected=detected)
+    return AttackOutcome(
+        attack=attack.name,
+        configuration=configuration,
+        kind=kind,
+        goal_reached=goal,
+        detected=detected,
+        detail=result.first_alarm().describe() if detected else "no alarm",
+    )
+
+
+# ---------------------------------------------------------------------------
+# In-place corruption attacks (fault-style, e.g. single-bit flips)
+# ---------------------------------------------------------------------------
+
+
+def _corruption_probe_factory(attack: UIDAttack, *, transformed: bool):
+    """Program factory for in-place corruption attacks.
+
+    The probe reproduces the privilege lifecycle the corruption targets:
+    cache the worker uid in memory, drop to it, escalate back to root for a
+    privileged operation, *then* have the attacker corrupt the cached value
+    (the same bit/bytes in every variant -- a fault-style attacker cannot aim
+    different corruptions at different variants), and finally perform the
+    security-critical re-drop that consults the corrupted value.  The attack
+    reaches its goal when the process is still root after that drop.
+    """
+
+    def factory(context: VariantContext):
+        libc = context.libc
+        codec = context.uid_codec if transformed else UIDCodec.identity()
+
+        def program():
+            from repro.apps.httpd.vulnerable import build_server_state
+            from repro.kernel.filesystem import O_RDONLY
+            from repro.kernel.passwd import parse_passwd
+            from repro.memory.corruption import apply_corruption
+
+            opened = yield from libc.open("/etc/passwd", O_RDONLY)
+            data = (yield from libc.read(opened.value, 8192)).value
+            yield from libc.close(opened.value)
+            entries = parse_passwd(data.decode())
+            worker_uid = next(e.uid for e in entries if e.name == "www-data")
+            if transformed:
+                worker_uid = (yield from libc.uid_value(worker_uid)).value
+
+            layout = build_server_state(
+                context.address_space,
+                worker_uid=worker_uid,
+                worker_gid=worker_uid,
+                admin_uid=codec.constant(0),
+            )
+
+            # Normal lifecycle: drop, then escalate for privileged maintenance.
+            yield from libc.seteuid(layout.worker_uid.get())
+            yield from libc.seteuid(codec.constant(0))
+
+            # The attacker's fault lands on the cached value...
+            apply_corruption(layout.worker_uid, attack.corruption)
+
+            # ...which the program then trusts for its security-critical drop.
+            corrupted = layout.worker_uid.get()
+            if transformed:
+                corrupted = (yield from libc.uid_value(corrupted)).value
+            yield from libc.seteuid(corrupted)
+
+            euid = (yield from libc.geteuid()).value
+            if transformed:
+                still_root = (yield from libc.cc_eq(euid, codec.root)).value
+            else:
+                still_root = euid == 0
+            yield from libc.exit(42 if still_root else 0)
+
+        return program()
+
+    return factory
+
+
+def run_corruption_attack_single(attack: UIDAttack, *, transformed: bool = False) -> AttackOutcome:
+    """Run an in-place corruption attack with no redundancy."""
+    if attack.remote:
+        raise ValueError(f"{attack.name} is a remote attack")
+    kernel = build_standard_host()
+    system = NVariantSystem(
+        kernel,
+        _corruption_probe_factory(attack, transformed=transformed),
+        [],
+        num_variants=1,
+        name="probe",
+    )
+    result = system.run()
+    goal = any(v.exit_code == 42 for v in result.variants)
+    crashed = any(not v.exited_normally for v in result.variants)
+    kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+    return AttackOutcome(
+        attack=attack.name,
+        configuration="single-process" + ("-transformed" if transformed else ""),
+        kind=kind,
+        goal_reached=goal,
+        detected=False,
+        detail=attack.corruption.describe(),
+    )
+
+
+def run_corruption_attack_nvariant(
+    attack: UIDAttack,
+    variations: Sequence[Variation] | None = None,
+    *,
+    configuration: str = "2-variant-uid",
+) -> AttackOutcome:
+    """Run an in-place corruption attack against an N-variant configuration."""
+    if attack.remote:
+        raise ValueError(f"{attack.name} is a remote attack")
+    variations = list(variations) if variations is not None else [UIDVariation()]
+    kernel = build_standard_host()
+    system = NVariantSystem(
+        kernel,
+        _corruption_probe_factory(attack, transformed=True),
+        variations,
+        num_variants=2,
+        name="probe",
+    )
+    result = system.run()
+    goal = any(v.exit_code == 42 for v in result.variants)
+    detected = result.attack_detected
+    kind = classify(goal_reached=goal, detected=detected)
+    return AttackOutcome(
+        attack=attack.name,
+        configuration=configuration,
+        kind=kind,
+        goal_reached=goal,
+        detected=detected,
+        detail=result.first_alarm().describe() if detected else attack.corruption.describe(),
+    )
+
+
+def run_uid_attack(
+    attack: UIDAttack,
+    *,
+    redundant: bool,
+    variations: Sequence[Variation] | None = None,
+    transformed: bool = True,
+    configuration: str | None = None,
+) -> AttackOutcome:
+    """Dispatch an attack to the appropriate driver for the configuration."""
+    if redundant:
+        variations = list(variations) if variations is not None else [UIDVariation()]
+        name = configuration or "2-variant-uid"
+        if attack.remote:
+            return run_remote_attack_nvariant(
+                attack, variations, transformed=transformed, configuration=name
+            )
+        return run_corruption_attack_nvariant(attack, variations, configuration=name)
+    if attack.remote:
+        return run_remote_attack_single(attack, transformed=False)
+    return run_corruption_attack_single(attack, transformed=False)

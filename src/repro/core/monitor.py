@@ -1,0 +1,190 @@
+"""The N-variant monitor.
+
+The monitor observes every variant at system-call granularity (Section 3.1)
+and raises an alarm whenever the variants are not in equivalent states:
+
+* different system calls at the same lockstep point,
+* the same call with non-equivalent arguments (compared *after* each
+  variant's canonicalization function has been applied, so representation
+  differences introduced by the reexpression functions do not trigger false
+  alarms),
+* a detection call (Table 2) observing divergent UID data or divergent
+  control flow,
+* a variant raising a hardware-style fault (segmentation fault, illegal
+  instruction), or
+* one variant terminating while another keeps running.
+
+The monitor is deliberately passive: it classifies and records divergences;
+the lockstep engine decides what to do about them (the default policy halts
+the system, which is the paper's behaviour).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.core.alarm import Alarm, AlarmType
+from repro.kernel.errors import VariantFault
+from repro.kernel.syscalls import (
+    DETECTION_SYSCALLS,
+    Syscall,
+    SyscallRequest,
+    UID_COMPARISON_SYSCALLS,
+    UID_PARAMETER_SYSCALLS,
+)
+
+
+@dataclasses.dataclass
+class MonitorStats:
+    """Counters describing how much checking the monitor performed."""
+
+    lockstep_points: int = 0
+    syscalls_compared: int = 0
+    detection_calls_checked: int = 0
+    alarms_raised: int = 0
+
+
+class Monitor:
+    """Compares canonicalized variant behaviour and records alarms."""
+
+    def __init__(self) -> None:
+        self.alarms: list[Alarm] = []
+        self.stats = MonitorStats()
+
+    # -- outcome ------------------------------------------------------------
+
+    @property
+    def attack_detected(self) -> bool:
+        """True once any alarm has been raised."""
+        return bool(self.alarms)
+
+    def first_alarm(self) -> Optional[Alarm]:
+        """The first alarm raised, if any."""
+        return self.alarms[0] if self.alarms else None
+
+    def _record(self, alarm: Alarm) -> Alarm:
+        self.alarms.append(alarm)
+        self.stats.alarms_raised += 1
+        return alarm
+
+    # -- syscall comparison ------------------------------------------------------
+
+    def check_syscalls(
+        self,
+        canonical_requests: Sequence[SyscallRequest],
+        *,
+        lockstep_index: int | None = None,
+    ) -> Optional[Alarm]:
+        """Compare one lockstep round of canonicalized requests.
+
+        Returns the alarm raised, or ``None`` when the variants are
+        equivalent at this point.
+        """
+        self.stats.lockstep_points += 1
+        self.stats.syscalls_compared += len(canonical_requests)
+
+        names = {request.name for request in canonical_requests}
+        if len(names) > 1:
+            return self._record(
+                Alarm(
+                    alarm_type=AlarmType.SYSCALL_MISMATCH,
+                    description="variants issued different system calls",
+                    syscall="/".join(sorted(name.value for name in names)),
+                    variant_values=tuple(r.describe() for r in canonical_requests),
+                    lockstep_index=lockstep_index,
+                )
+            )
+
+        name = canonical_requests[0].name
+        if name in DETECTION_SYSCALLS:
+            self.stats.detection_calls_checked += 1
+
+        args = [request.args for request in canonical_requests]
+        if all(arg == args[0] for arg in args[1:]):
+            return None
+
+        alarm_type = self._classify_argument_mismatch(name)
+        return self._record(
+            Alarm(
+                alarm_type=alarm_type,
+                description=self._mismatch_description(name),
+                syscall=name.value,
+                variant_values=tuple(args),
+                lockstep_index=lockstep_index,
+            )
+        )
+
+    @staticmethod
+    def _classify_argument_mismatch(name: Syscall) -> AlarmType:
+        if name is Syscall.COND_CHK:
+            return AlarmType.CONTROL_FLOW_DIVERGENCE
+        if name is Syscall.UID_VALUE or name in UID_COMPARISON_SYSCALLS:
+            return AlarmType.UID_DIVERGENCE
+        if name in UID_PARAMETER_SYSCALLS:
+            return AlarmType.UID_DIVERGENCE
+        return AlarmType.ARGUMENT_MISMATCH
+
+    @staticmethod
+    def _mismatch_description(name: Syscall) -> str:
+        if name is Syscall.COND_CHK:
+            return "variants evaluated a UID-dependent condition differently"
+        if name is Syscall.UID_VALUE or name in UID_COMPARISON_SYSCALLS:
+            return "variants observed non-equivalent UID values"
+        if name in UID_PARAMETER_SYSCALLS:
+            return "variants passed non-equivalent UIDs to a credential call"
+        return "variants passed non-equivalent arguments"
+
+    # -- faults and lifecycle -------------------------------------------------------
+
+    def report_fault(
+        self,
+        variant_index: int,
+        fault: VariantFault,
+        *,
+        lockstep_index: int | None = None,
+    ) -> Alarm:
+        """Record that a variant trapped (segfault, illegal instruction, kill)."""
+        return self._record(
+            Alarm(
+                alarm_type=AlarmType.VARIANT_FAULT,
+                description=f"variant {variant_index} faulted: {fault.kind}: {fault.message}",
+                faulting_variant=variant_index,
+                lockstep_index=lockstep_index,
+            )
+        )
+
+    def report_lifecycle_divergence(
+        self,
+        description: str,
+        *,
+        lockstep_index: int | None = None,
+        variant_values: tuple = (),
+    ) -> Alarm:
+        """Record that variants disagreed about continuing vs terminating."""
+        return self._record(
+            Alarm(
+                alarm_type=AlarmType.LIFECYCLE_DIVERGENCE,
+                description=description,
+                variant_values=variant_values,
+                lockstep_index=lockstep_index,
+            )
+        )
+
+    def report_output_mismatch(
+        self,
+        syscall: Syscall,
+        variant_values: tuple,
+        *,
+        lockstep_index: int | None = None,
+    ) -> Alarm:
+        """Record divergent output data noticed by the wrapper layer."""
+        return self._record(
+            Alarm(
+                alarm_type=AlarmType.OUTPUT_MISMATCH,
+                description="variants attempted to emit different output data",
+                syscall=syscall.value,
+                variant_values=variant_values,
+                lockstep_index=lockstep_index,
+            )
+        )

@@ -1,0 +1,379 @@
+"""The lockstep N-variant execution engine.
+
+This is the reproduction of the paper's ``nvexec`` framework: it launches N
+variants of a program, synchronises them at system-call boundaries, routes
+every call through the monitor and the wrapper layer, and converts any
+divergence into an alarm.
+
+Programs are generator coroutines (see :mod:`repro.kernel.scheduler`); a
+*program factory* builds one generator per variant from a
+:class:`VariantContext` carrying that variant's process, address space and
+embedded data codec.  The codec is how the reproduction models the build-time
+source transformation of Section 3.3: the transformed program asks its
+context for the variant's representation of UID constants instead of using
+literal values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.core.alarm import Alarm, AlarmType
+from repro.core.monitor import Monitor
+from repro.core.variations.base import Variation, VariationStack
+from repro.core.variations.uid import UIDVariation
+from repro.core.wrappers import SyscallWrappers, UnsharedFileRegistry, WrapperStats
+from repro.kernel.errors import VariantFault
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.libc import Libc
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
+
+Program = Generator[SyscallRequest, SyscallResult, Any]
+
+
+class UIDCodec:
+    """A variant's embedded view of UID representations.
+
+    Transformed programs (Section 3.3) replace every UID constant ``c`` with
+    ``R_i(c)``; in this reproduction the program calls ``codec.constant(c)``
+    at the points where the source transformation would have substituted the
+    literal.  For an untransformed program, or for variant 0, the codec is
+    the identity.
+    """
+
+    def __init__(self, encode: Callable[[int], int], decode: Callable[[int], int]):
+        self._encode = encode
+        self._decode = decode
+
+    @classmethod
+    def identity(cls) -> "UIDCodec":
+        """The codec of an untransformed program."""
+        return cls(lambda value: value, lambda value: value)
+
+    def constant(self, uid: int) -> int:
+        """The variant's representation of the trusted UID constant *uid*."""
+        return self._encode(uid)
+
+    def encode(self, uid: int) -> int:
+        """Alias of :meth:`constant`; reads better in data-flow contexts."""
+        return self._encode(uid)
+
+    def decode(self, value: int) -> int:
+        """Semantic UID behind the variant's concrete *value*."""
+        return self._decode(value)
+
+    @property
+    def root(self) -> int:
+        """The variant's representation of root (``VARIANT_ROOT`` in the paper)."""
+        return self._encode(0)
+
+
+@dataclasses.dataclass
+class VariantContext:
+    """Everything a variant program needs at construction time."""
+
+    index: int
+    process: Process
+    libc: Libc
+    uid_codec: UIDCodec
+
+    @property
+    def address_space(self):
+        """The variant's address space (possibly partitioned)."""
+        return self.process.address_space
+
+
+@dataclasses.dataclass
+class VariantOutcome:
+    """Final state of one variant after a lockstep run."""
+
+    index: int
+    exit_code: Optional[int]
+    fault: Optional[str]
+    return_value: Any = None
+    syscall_count: int = 0
+
+    @property
+    def exited_normally(self) -> bool:
+        """True when the variant finished without trapping."""
+        return self.fault is None
+
+
+@dataclasses.dataclass
+class NVariantResult:
+    """Outcome of running an N-variant system to completion (or to an alarm)."""
+
+    alarms: list[Alarm]
+    variants: list[VariantOutcome]
+    lockstep_rounds: int
+    wrapper_stats: WrapperStats
+    monitor: Monitor
+
+    @property
+    def attack_detected(self) -> bool:
+        """True when the monitor raised at least one alarm."""
+        return bool(self.alarms)
+
+    @property
+    def completed_normally(self) -> bool:
+        """True when every variant exited cleanly and no alarm fired."""
+        return not self.alarms and all(v.exited_normally for v in self.variants)
+
+    def first_alarm(self) -> Optional[Alarm]:
+        """The first alarm raised, if any."""
+        return self.alarms[0] if self.alarms else None
+
+    def describe(self) -> str:
+        """Readable multi-line summary for examples and reports."""
+        lines = [
+            f"lockstep rounds: {self.lockstep_rounds}",
+            f"alarms: {len(self.alarms)}",
+        ]
+        for alarm in self.alarms:
+            lines.append(f"  {alarm.describe()}")
+        for variant in self.variants:
+            status = "ok" if variant.exited_normally else f"fault: {variant.fault}"
+            lines.append(
+                f"  variant {variant.index}: exit={variant.exit_code} "
+                f"syscalls={variant.syscall_count} [{status}]"
+            )
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class _VariantRuntime:
+    """Internal per-variant bookkeeping for the lockstep loop."""
+
+    context: VariantContext
+    program: Program
+    started: bool = False
+    finished: bool = False
+    fault: Optional[VariantFault] = None
+    return_value: Any = None
+    pending_result: Optional[SyscallResult] = None
+    pending_request: Optional[SyscallRequest] = None
+
+
+class NVariantSystem:
+    """Runs N variants of one program in system-call lockstep."""
+
+    def __init__(
+        self,
+        kernel: SimulatedKernel,
+        program_factory: Callable[[VariantContext], Program],
+        variations: Sequence[Variation] = (),
+        *,
+        num_variants: int = 2,
+        halt_on_alarm: bool = True,
+        max_rounds: int = 2_000_000,
+        name: str = "nvariant",
+    ):
+        self.kernel = kernel
+        self.program_factory = program_factory
+        self.variations = VariationStack(list(variations), num_variants)
+        self.num_variants = num_variants
+        self.halt_on_alarm = halt_on_alarm
+        self.max_rounds = max_rounds
+        self.name = name
+        self.monitor = Monitor()
+
+        registry = UnsharedFileRegistry(num_variants)
+        registry.register_mapping(self.variations.setup_unshared_files(kernel.fs))
+
+        self._contexts: list[VariantContext] = []
+        processes: list[Process] = []
+        for index in range(num_variants):
+            process = kernel.spawn_process(
+                f"{name}-v{index}",
+                address_space=self.variations.make_address_space(index),
+            )
+            processes.append(process)
+            self._contexts.append(
+                VariantContext(
+                    index=index,
+                    process=process,
+                    libc=Libc(),
+                    uid_codec=self._build_codec(index),
+                )
+            )
+        self.wrappers = SyscallWrappers(kernel, processes, registry)
+
+    # -- construction helpers --------------------------------------------------
+
+    def _build_codec(self, index: int) -> UIDCodec:
+        for variation in self.variations:
+            if isinstance(variation, UIDVariation):
+                return UIDCodec(
+                    encode=lambda value, v=variation, i=index: v.encode(i, value),
+                    decode=lambda value, v=variation, i=index: v.decode(i, value),
+                )
+        return UIDCodec.identity()
+
+    @property
+    def contexts(self) -> list[VariantContext]:
+        """The per-variant contexts (useful for inspection in tests)."""
+        return self._contexts
+
+    @property
+    def processes(self) -> list[Process]:
+        """The per-variant kernel processes."""
+        return [context.process for context in self._contexts]
+
+    # -- the lockstep loop ------------------------------------------------------------
+
+    def run(self) -> NVariantResult:
+        """Run the system until completion or (by default) the first alarm."""
+        runtimes = [
+            _VariantRuntime(context=context, program=self.program_factory(context))
+            for context in self._contexts
+        ]
+        rounds = 0
+        while rounds < self.max_rounds:
+            rounds += 1
+            self._advance_all(runtimes, rounds)
+
+            active = [r for r in runtimes if not r.finished]
+            faulted = [r for r in runtimes if r.fault is not None]
+
+            if faulted:
+                for runtime in faulted:
+                    if not self._already_reported(runtime):
+                        self.monitor.report_fault(
+                            runtime.context.index, runtime.fault, lockstep_index=rounds
+                        )
+                if self.halt_on_alarm:
+                    self._halt(runtimes)
+                    break
+                for runtime in faulted:
+                    runtime.fault = None  # keep going without re-reporting
+
+            if not active:
+                break
+
+            if len(active) != len(runtimes):
+                finished_indices = tuple(r.context.index for r in runtimes if r.finished)
+                self.monitor.report_lifecycle_divergence(
+                    "some variants terminated while others kept running",
+                    lockstep_index=rounds,
+                    variant_values=finished_indices,
+                )
+                if self.halt_on_alarm:
+                    self._halt(runtimes)
+                    break
+                # Without halting there is nothing sensible to synchronise on.
+                break
+
+            requests = [r.pending_request for r in runtimes]
+            if any(request is None for request in requests):
+                continue
+
+            transformed = [
+                self.variations.transform_request(r.context.index, request)
+                for r, request in zip(runtimes, requests)
+            ]
+            canonical = [
+                self.variations.canonicalize_request(r.context.index, request)
+                for r, request in zip(runtimes, requests)
+            ]
+            alarm = self.monitor.check_syscalls(canonical, lockstep_index=rounds)
+            if alarm is not None and self.halt_on_alarm:
+                self._halt(runtimes)
+                break
+
+            raw_results = self.wrappers.execute_round(transformed)
+            for runtime, request, raw in zip(runtimes, requests, raw_results):
+                runtime.pending_result = self.variations.transform_result(
+                    runtime.context.index, request, raw
+                )
+                runtime.pending_request = None
+                if request.name is Syscall.EXIT or not runtime.context.process.alive:
+                    runtime.finished = True
+                    runtime.program.close()
+        else:
+            raise RuntimeError(f"lockstep engine exceeded {self.max_rounds} rounds")
+
+        return self._build_result(runtimes, rounds)
+
+    # -- loop internals ---------------------------------------------------------------------
+
+    def _advance_all(self, runtimes: list[_VariantRuntime], round_index: int) -> None:
+        """Advance every unfinished variant to its next system call."""
+        for runtime in runtimes:
+            if runtime.finished or runtime.pending_request is not None:
+                continue
+            try:
+                if not runtime.started:
+                    runtime.pending_request = runtime.program.send(None)
+                    runtime.started = True
+                else:
+                    runtime.pending_request = runtime.program.send(runtime.pending_result)
+            except StopIteration as stop:
+                runtime.return_value = stop.value
+                runtime.finished = True
+                if runtime.context.process.alive and runtime.context.process.exit_code is None:
+                    runtime.context.process.exit(0)
+            except VariantFault as fault:
+                runtime.fault = fault
+                runtime.finished = True
+                runtime.context.process.fault(f"{fault.kind}: {fault.message}")
+
+    def _already_reported(self, runtime: _VariantRuntime) -> bool:
+        return any(
+            alarm.alarm_type is AlarmType.VARIANT_FAULT
+            and alarm.faulting_variant == runtime.context.index
+            for alarm in self.monitor.alarms
+        )
+
+    def _halt(self, runtimes: list[_VariantRuntime]) -> None:
+        """Stop every variant (the paper's halt-on-divergence policy)."""
+        for runtime in runtimes:
+            if not runtime.finished:
+                runtime.finished = True
+                runtime.program.close()
+            process = runtime.context.process
+            if process.alive:
+                process.fault("halted by monitor after divergence")
+
+    def _build_result(self, runtimes: list[_VariantRuntime], rounds: int) -> NVariantResult:
+        variants = []
+        for runtime in runtimes:
+            process = runtime.context.process
+            variants.append(
+                VariantOutcome(
+                    index=runtime.context.index,
+                    exit_code=process.exit_code,
+                    fault=process.fault_reason if runtime.fault or process.fault_reason else None,
+                    return_value=runtime.return_value,
+                    syscall_count=process.stats.syscall_count,
+                )
+            )
+        return NVariantResult(
+            alarms=list(self.monitor.alarms),
+            variants=variants,
+            lockstep_rounds=rounds,
+            wrapper_stats=self.wrappers.stats,
+            monitor=self.monitor,
+        )
+
+
+def nvexec(
+    kernel: SimulatedKernel,
+    program_factory: Callable[[VariantContext], Program],
+    variations: Sequence[Variation] = (),
+    *,
+    num_variants: int = 2,
+    halt_on_alarm: bool = True,
+    name: str = "nvariant",
+) -> NVariantResult:
+    """Launch and run an N-variant system in one call (the paper's ``nvexec``)."""
+    system = NVariantSystem(
+        kernel,
+        program_factory,
+        variations,
+        num_variants=num_variants,
+        halt_on_alarm=halt_on_alarm,
+        name=name,
+    )
+    return system.run()

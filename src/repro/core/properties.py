@@ -1,0 +1,148 @@
+"""Checkers for the paper's two framework-level properties.
+
+Section 2.2 (normal equivalence) and Section 2.3 (detection) are the two
+obligations a variation designer must discharge.  The reexpression-level
+pieces (inverse property, disjointedness) live in
+:mod:`repro.core.reexpression`; this module provides the system-level
+checkers that run an actual N-variant system:
+
+* :func:`check_normal_equivalence` runs a benign workload and asserts that no
+  alarm fires and that the variants produce identical observable behaviour.
+* :func:`check_detection` runs an attack workload and asserts that the
+  monitor raised an alarm before the attack's goal predicate became true.
+
+Both return structured verdicts rather than raising, so the property-based
+tests and the benchmark harness can aggregate them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence
+
+from repro.core.nvariant import NVariantResult
+from repro.core.reexpression import (
+    PropertyReport,
+    ReexpressionFunction,
+    check_disjointness,
+    check_inverse_property,
+    sample_domain,
+)
+from repro.core.variations.base import Variation
+
+
+@dataclasses.dataclass(frozen=True)
+class EquivalenceVerdict:
+    """Result of a normal-equivalence check."""
+
+    holds: bool
+    reason: str
+    alarms: int
+
+    def describe(self) -> str:
+        """One-line summary."""
+        status = "normal equivalence holds" if self.holds else "normal equivalence VIOLATED"
+        return f"{status}: {self.reason}"
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectionVerdict:
+    """Result of a detection check."""
+
+    detected: bool
+    attack_succeeded: bool
+    reason: str
+
+    @property
+    def holds(self) -> bool:
+        """The detection property holds when no undetected compromise exists."""
+        return self.detected or not self.attack_succeeded
+
+    def describe(self) -> str:
+        """One-line summary."""
+        if self.detected:
+            return f"attack detected: {self.reason}"
+        if self.attack_succeeded:
+            return f"DETECTION FAILED (undetected compromise): {self.reason}"
+        return f"attack had no effect: {self.reason}"
+
+
+def check_variation_reexpression(
+    variation: Variation, samples: Iterable[int] | None = None
+) -> list[PropertyReport]:
+    """Check the inverse property of every ``R_i`` and pairwise disjointedness.
+
+    This is the per-variation portion of Table 1's implicit claims.  Note
+    that variant 0's inverse being the identity means disjointedness is a
+    statement about variant 1's inverse never being the identity on any
+    value.
+    """
+    values = list(samples) if samples is not None else sample_domain(bits=31)
+    functions = variation.reexpressions()
+    reports = [check_inverse_property(function, values) for function in functions]
+    reports.append(check_disjointness(functions, values))
+    return reports
+
+
+def check_normal_equivalence(
+    run_benign: Callable[[], NVariantResult],
+    *,
+    observable: Callable[[NVariantResult], Sequence] | None = None,
+) -> EquivalenceVerdict:
+    """Run a benign workload and verify the variants stayed equivalent.
+
+    *run_benign* builds and runs an N-variant system on non-malicious input.
+    *observable*, when given, extracts the externally visible behaviour from
+    the result (e.g. HTTP responses); normal equivalence additionally
+    requires that it matches what the unmodified program would produce, but
+    at this level we check internal consistency: no alarms and clean exits.
+    """
+    result = run_benign()
+    if result.alarms:
+        return EquivalenceVerdict(
+            holds=False,
+            reason=f"monitor raised {len(result.alarms)} alarm(s) on benign input: "
+            f"{result.first_alarm().describe()}",
+            alarms=len(result.alarms),
+        )
+    if not all(variant.exited_normally for variant in result.variants):
+        faults = [v.fault for v in result.variants if v.fault]
+        return EquivalenceVerdict(
+            holds=False,
+            reason=f"variant faulted on benign input: {faults}",
+            alarms=0,
+        )
+    if observable is not None:
+        observed = observable(result)
+        if len(set(map(repr, observed))) > 1:
+            return EquivalenceVerdict(
+                holds=False,
+                reason="variants produced different observable outputs",
+                alarms=0,
+            )
+    return EquivalenceVerdict(holds=True, reason="no alarms, all variants exited cleanly", alarms=0)
+
+
+def check_detection(
+    run_attack: Callable[[], NVariantResult],
+    attack_goal_reached: Callable[[NVariantResult], bool],
+) -> DetectionVerdict:
+    """Run an attack workload and verify it is detected (or harmless).
+
+    *attack_goal_reached* inspects the result (and, through closures, the
+    host state) to decide whether the attacker achieved their goal -- e.g.
+    the server kept serving with root privileges after the corruption.
+    """
+    result = run_attack()
+    goal = attack_goal_reached(result)
+    if result.attack_detected:
+        return DetectionVerdict(
+            detected=True,
+            attack_succeeded=goal,
+            reason=result.first_alarm().describe(),
+        )
+    return DetectionVerdict(
+        detected=False,
+        attack_succeeded=goal,
+        reason="no alarm raised",
+    )

@@ -1,0 +1,44 @@
+"""The four variations of Table 1 plus the ablation variants.
+
+* :class:`~repro.core.variations.address.AddressPartitioning` -- disjoint
+  high-bit address spaces (Cox et al. 2006).
+* :class:`~repro.core.variations.address.ExtendedAddressPartitioning` --
+  partitioning plus an extra offset (Bruschi et al. 2007).
+* :class:`~repro.core.variations.instruction.InstructionSetTagging` --
+  per-variant instruction tags (Cox et al. 2006).
+* :class:`~repro.core.variations.uid.UIDVariation` -- the paper's UID data
+  diversity (identity vs XOR 0x7FFFFFFF).
+* :class:`~repro.core.variations.uid.FullFlipUIDVariation` -- the rejected
+  XOR 0xFFFFFFFF design, kept for the Section 3.2 ablation.
+"""
+
+from repro.core.variations.address import AddressPartitioning, ExtendedAddressPartitioning
+from repro.core.variations.base import Variation, VariationStack
+from repro.core.variations.instruction import InstructionSetTagging
+from repro.core.variations.uid import (
+    FullFlipUIDVariation,
+    UID_MASK_31,
+    UID_MASK_32,
+    UIDVariation,
+)
+
+#: The variations exactly as listed in Table 1, in row order.
+TABLE1_VARIATIONS = (
+    AddressPartitioning,
+    ExtendedAddressPartitioning,
+    InstructionSetTagging,
+    UIDVariation,
+)
+
+__all__ = [
+    "AddressPartitioning",
+    "ExtendedAddressPartitioning",
+    "FullFlipUIDVariation",
+    "InstructionSetTagging",
+    "TABLE1_VARIATIONS",
+    "UID_MASK_31",
+    "UID_MASK_32",
+    "UIDVariation",
+    "Variation",
+    "VariationStack",
+]

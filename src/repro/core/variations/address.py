@@ -1,0 +1,74 @@
+"""Address-space partitioning variations (rows 1 and 2 of Table 1).
+
+The original N-variant systems paper partitions the address space: variant 0
+runs entirely at addresses with the high bit clear, variant 1 at addresses
+with the high bit set (``R_1(a) = a + 0x80000000``).  An attack that injects
+a complete absolute address can match at most one variant's partition; the
+other variant faults when it dereferences the injected pointer and the
+monitor reports the attack.
+
+Bruschi et al.'s *extended* partitioning adds a further offset so that even
+the low-order bytes of equivalent addresses differ across variants, restoring
+(probabilistic) protection against partial pointer overwrites that leave the
+high byte intact.  Both are reproduced here; the detection matrix benchmark
+exercises the difference.
+"""
+
+from __future__ import annotations
+
+from repro.core.reexpression import ReexpressionFunction, identity_reexpression, offset_reexpression
+from repro.core.variations.base import Variation
+from repro.memory.address_space import AddressSpace, PARTITION_BIT
+
+
+class AddressPartitioning(Variation):
+    """Two variants with disjoint (high-bit partitioned) address spaces."""
+
+    name = "address-partitioning"
+    target_type = "address"
+    reference = "Cox et al., USENIX Security 2006 [16]"
+
+    def __init__(self) -> None:
+        self.num_variants = 2
+
+    def reexpression(self, index: int) -> ReexpressionFunction:
+        """``R_0(a) = a``; ``R_1(a) = a + 0x80000000``."""
+        self._check_index(index)
+        if index == 0:
+            return identity_reexpression("address")
+        return offset_reexpression(PARTITION_BIT, domain="address")
+
+    def make_address_space(self, index: int) -> AddressSpace:
+        """Variant *index*'s partitioned address space."""
+        self._check_index(index)
+        return AddressSpace(partition=index)
+
+
+class ExtendedAddressPartitioning(AddressPartitioning):
+    """Partitioning plus a per-variant offset (Bruschi et al. [9]).
+
+    The extra offset makes even the low bytes of corresponding addresses
+    differ between variants, so a partial (e.g. 3-low-byte) pointer overwrite
+    is also detected with high probability.
+    """
+
+    name = "extended-address-partitioning"
+    reference = "Bruschi et al., IWIA 2007 [9]"
+
+    def __init__(self, offset: int = 0x00010000):
+        super().__init__()
+        if offset <= 0 or offset >= PARTITION_BIT:
+            raise ValueError("offset must be positive and smaller than the partition bit")
+        self.offset = offset
+
+    def reexpression(self, index: int) -> ReexpressionFunction:
+        """``R_0(a) = a``; ``R_1(a) = a + 0x80000000 + offset``."""
+        self._check_index(index)
+        if index == 0:
+            return identity_reexpression("address")
+        return offset_reexpression(PARTITION_BIT + self.offset, domain="address")
+
+    def make_address_space(self, index: int) -> AddressSpace:
+        """Variant *index*'s partitioned-and-offset address space."""
+        self._check_index(index)
+        return AddressSpace(partition=index, base_offset=self.offset if index == 1 else 0)

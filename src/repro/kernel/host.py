@@ -1,0 +1,192 @@
+"""Standard host image used by examples, tests and benchmarks.
+
+The paper's case study runs Apache on a Fedora Core 5 host.  This module
+builds the simulated equivalent: a filesystem populated with the account
+databases, a web document root with a WebBench-like mix of static pages, the
+server configuration file, log and runtime directories, and a few root-only
+files that exist purely so a successful privilege-escalation attack has
+something worth reading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence
+
+from repro.kernel.filesystem import FileSystem
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.passwd import (
+    GroupEntry,
+    PasswdEntry,
+    default_group_entries,
+    default_passwd_entries,
+    diversify_group,
+    diversify_passwd,
+    format_group,
+    format_passwd,
+)
+
+#: Default port the mini-httpd listens on.
+HTTP_PORT = 80
+
+#: Default document root.
+DOCROOT = "/var/www/html"
+
+#: Default server configuration path.
+HTTPD_CONF = "/etc/httpd.conf"
+
+#: Default error-log path.
+ERROR_LOG = "/var/log/httpd/error_log"
+
+#: Default access-log path.
+ACCESS_LOG = "/var/log/httpd/access_log"
+
+#: A root-only file that a successful UID attack would be able to read.
+SHADOW_FILE = "/etc/shadow"
+
+
+@dataclasses.dataclass(frozen=True)
+class DocumentSpec:
+    """One static document in the WebBench-like document tree."""
+
+    path: str
+    size: int
+
+    def content(self) -> bytes:
+        """Deterministic filler content of the requested size."""
+        pattern = f"<!-- {self.path} -->".encode()
+        repeats = self.size // len(pattern) + 1
+        return (pattern * repeats)[: self.size]
+
+
+#: The standard static document mix.  WebBench 5.0's static workload requests
+#: a spread of small-to-large pages; these sizes reproduce that spread so the
+#: throughput numbers (KB/s) are dominated by a realistic byte mix.
+DEFAULT_DOCUMENTS: tuple[DocumentSpec, ...] = (
+    DocumentSpec(f"{DOCROOT}/index.html", 1024),
+    DocumentSpec(f"{DOCROOT}/news.html", 2048),
+    DocumentSpec(f"{DOCROOT}/products.html", 4096),
+    DocumentSpec(f"{DOCROOT}/catalog.html", 8192),
+    DocumentSpec(f"{DOCROOT}/images/logo.gif", 3072),
+    DocumentSpec(f"{DOCROOT}/images/banner.jpg", 16384),
+    DocumentSpec(f"{DOCROOT}/docs/manual.html", 32768),
+    DocumentSpec(f"{DOCROOT}/docs/faq.html", 6144),
+    DocumentSpec(f"{DOCROOT}/cgi-data/report.html", 12288),
+    DocumentSpec(f"{DOCROOT}/downloads/archive.bin", 65536),
+)
+
+#: Default httpd configuration contents.
+DEFAULT_HTTPD_CONF = f"""\
+# Simulated httpd configuration
+Listen {HTTP_PORT}
+User www-data
+Group www-data
+DocumentRoot {DOCROOT}
+ErrorLog {ERROR_LOG}
+AccessLog {ACCESS_LOG}
+AdminUser root
+"""
+
+
+def build_filesystem(
+    passwd_entries: Sequence[PasswdEntry] | None = None,
+    group_entries: Sequence[GroupEntry] | None = None,
+    documents: Iterable[DocumentSpec] = DEFAULT_DOCUMENTS,
+    httpd_conf: str = DEFAULT_HTTPD_CONF,
+) -> FileSystem:
+    """Build the standard host filesystem image."""
+    passwd_entries = list(passwd_entries) if passwd_entries is not None else default_passwd_entries()
+    group_entries = list(group_entries) if group_entries is not None else default_group_entries()
+
+    fs = FileSystem()
+    for directory in (
+        "/etc",
+        "/root",
+        "/home",
+        "/home/alice",
+        "/home/bob",
+        "/tmp",
+        "/var",
+        "/var/www",
+        DOCROOT,
+        f"{DOCROOT}/images",
+        f"{DOCROOT}/docs",
+        f"{DOCROOT}/cgi-data",
+        f"{DOCROOT}/downloads",
+        "/var/log",
+        "/var/log/httpd",
+        "/var/run",
+    ):
+        if not fs.exists(directory):
+            fs.mkdir(directory, parents=True)
+    # World-writable scratch space, as on a real host.
+    fs.chmod("/tmp", 0o777)
+
+    fs.create_file("/etc/passwd", format_passwd(passwd_entries), mode=0o644)
+    fs.create_file("/etc/group", format_group(group_entries), mode=0o644)
+    fs.create_file(
+        SHADOW_FILE,
+        "root:$6$secrethash$:19000:0:99999:7:::\n",
+        mode=0o600,
+    )
+    fs.create_file(HTTPD_CONF, httpd_conf, mode=0o644)
+    fs.create_file(ERROR_LOG, b"", mode=0o640)
+    fs.create_file(ACCESS_LOG, b"", mode=0o640)
+    fs.create_file("/root/secrets.txt", "top secret\n", mode=0o600)
+
+    for document in documents:
+        fs.create_file(document.path, document.content(), mode=0o644)
+
+    # Home directories owned by their users, world-unreadable private files.
+    fs.chown("/home/alice", 1000, 1000)
+    fs.chown("/home/bob", 1001, 1001)
+    fs.create_file("/home/alice/diary.txt", "alice's private notes\n", mode=0o600, uid=1000, gid=1000)
+    fs.create_file("/home/bob/notes.txt", "bob's private notes\n", mode=0o600, uid=1001, gid=1001)
+    return fs
+
+
+def install_diversified_user_db(
+    fs: FileSystem,
+    reexpression_functions: Sequence[Callable[[int], int]],
+    *,
+    passwd_path: str = "/etc/passwd",
+    group_path: str = "/etc/group",
+) -> list[tuple[str, str]]:
+    """Create the per-variant unshared copies of the account databases.
+
+    For each variant *i*, writes ``<passwd_path>-i`` and ``<group_path>-i``
+    whose UID/GID columns are transformed with ``reexpression_functions[i]``
+    (Section 3.4 of the paper).  Returns the list of ``(original, variant)``
+    path pairs created, which callers register with the unshared-file layer.
+    """
+    from repro.kernel.passwd import parse_group, parse_passwd
+
+    passwd_entries = parse_passwd(fs.read_file(passwd_path).decode())
+    group_entries = parse_group(fs.read_file(group_path).decode())
+    created: list[tuple[str, str]] = []
+    for index, reexpress in enumerate(reexpression_functions):
+        variant_passwd = f"{passwd_path}-{index}"
+        variant_group = f"{group_path}-{index}"
+        fs.create_file(
+            variant_passwd,
+            format_passwd(diversify_passwd(passwd_entries, reexpress)),
+            mode=0o644,
+        )
+        fs.create_file(
+            variant_group,
+            format_group(diversify_group(group_entries, reexpress)),
+            mode=0o644,
+        )
+        created.append((passwd_path, variant_passwd))
+        created.append((group_path, variant_group))
+    return created
+
+
+def build_standard_host(
+    passwd_entries: Sequence[PasswdEntry] | None = None,
+    group_entries: Sequence[GroupEntry] | None = None,
+    documents: Iterable[DocumentSpec] = DEFAULT_DOCUMENTS,
+) -> SimulatedKernel:
+    """Build a kernel whose filesystem is the standard host image."""
+    fs = build_filesystem(passwd_entries, group_entries, documents)
+    return SimulatedKernel(filesystem=fs)

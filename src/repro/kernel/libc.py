@@ -1,0 +1,220 @@
+"""A tiny "libc" for simulated programs.
+
+Programs are generators that yield system-call requests; writing every call
+site as ``result = yield request(Syscall.OPEN, path, flags)`` quickly becomes
+noisy.  :class:`Libc` provides named helpers that are themselves generators,
+so program code reads like ordinary C-with-syscalls::
+
+    result = yield from libc.open("/etc/passwd", O_RDONLY)
+    if result.ok:
+        data = (yield from libc.read(result.value, 4096)).value
+
+Every helper returns the raw :class:`~repro.kernel.syscalls.SyscallResult` so
+programs can implement their own error handling (the mini-httpd, for
+instance, turns ``ENOENT`` into a 404 response rather than crashing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.kernel.filesystem import O_RDONLY
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
+
+SyscallGen = Generator[SyscallRequest, SyscallResult, SyscallResult]
+
+
+class Libc:
+    """Named system-call helpers for generator programs."""
+
+    # -- the generic trampoline ------------------------------------------------
+
+    @staticmethod
+    def syscall(name: Syscall, *args: Any) -> SyscallGen:
+        """Issue an arbitrary system call and return its result."""
+        result = yield SyscallRequest(name, tuple(args))
+        return result
+
+    # -- process ----------------------------------------------------------------
+
+    def exit(self, code: int = 0) -> SyscallGen:
+        """Terminate the calling program."""
+        return self.syscall(Syscall.EXIT, code)
+
+    def getpid(self) -> SyscallGen:
+        """Return the process id."""
+        return self.syscall(Syscall.GETPID)
+
+    # -- credentials --------------------------------------------------------------
+
+    def getuid(self) -> SyscallGen:
+        """Return the real user id."""
+        return self.syscall(Syscall.GETUID)
+
+    def geteuid(self) -> SyscallGen:
+        """Return the effective user id."""
+        return self.syscall(Syscall.GETEUID)
+
+    def getgid(self) -> SyscallGen:
+        """Return the real group id."""
+        return self.syscall(Syscall.GETGID)
+
+    def getegid(self) -> SyscallGen:
+        """Return the effective group id."""
+        return self.syscall(Syscall.GETEGID)
+
+    def setuid(self, uid: int) -> SyscallGen:
+        """Set the real/effective/saved user id."""
+        return self.syscall(Syscall.SETUID, uid)
+
+    def seteuid(self, euid: int) -> SyscallGen:
+        """Set the effective user id."""
+        return self.syscall(Syscall.SETEUID, euid)
+
+    def setgid(self, gid: int) -> SyscallGen:
+        """Set the real/effective/saved group id."""
+        return self.syscall(Syscall.SETGID, gid)
+
+    def setegid(self, egid: int) -> SyscallGen:
+        """Set the effective group id."""
+        return self.syscall(Syscall.SETEGID, egid)
+
+    def setgroups(self, groups: tuple[int, ...]) -> SyscallGen:
+        """Set the supplementary group list."""
+        return self.syscall(Syscall.SETGROUPS, tuple(groups))
+
+    # -- files ----------------------------------------------------------------------
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> SyscallGen:
+        """Open *path*, returning a descriptor in ``result.value``."""
+        return self.syscall(Syscall.OPEN, path, flags, mode)
+
+    def close(self, fd: int) -> SyscallGen:
+        """Close descriptor *fd*."""
+        return self.syscall(Syscall.CLOSE, fd)
+
+    def read(self, fd: int, count: int) -> SyscallGen:
+        """Read up to *count* bytes from *fd*."""
+        return self.syscall(Syscall.READ, fd, count)
+
+    def write(self, fd: int, data: bytes | str) -> SyscallGen:
+        """Write *data* to *fd*."""
+        return self.syscall(Syscall.WRITE, fd, data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0) -> SyscallGen:
+        """Reposition the file offset of *fd*."""
+        return self.syscall(Syscall.LSEEK, fd, offset, whence)
+
+    def stat(self, path: str) -> SyscallGen:
+        """Stat the inode at *path*."""
+        return self.syscall(Syscall.STAT, path)
+
+    def fstat(self, fd: int) -> SyscallGen:
+        """Stat the inode open at *fd*."""
+        return self.syscall(Syscall.FSTAT, fd)
+
+    def access(self, path: str, mode: int) -> SyscallGen:
+        """Check accessibility of *path* for the caller's credentials."""
+        return self.syscall(Syscall.ACCESS, path, mode)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> SyscallGen:
+        """Create a directory."""
+        return self.syscall(Syscall.MKDIR, path, mode)
+
+    def unlink(self, path: str) -> SyscallGen:
+        """Remove a file."""
+        return self.syscall(Syscall.UNLINK, path)
+
+    def chown(self, path: str, uid: int, gid: int) -> SyscallGen:
+        """Change ownership of *path*."""
+        return self.syscall(Syscall.CHOWN, path, uid, gid)
+
+    def chmod(self, path: str, mode: int) -> SyscallGen:
+        """Change the permission bits of *path*."""
+        return self.syscall(Syscall.CHMOD, path, mode)
+
+    def getdents(self, path: str) -> SyscallGen:
+        """List the names in the directory at *path*."""
+        return self.syscall(Syscall.GETDENTS, path)
+
+    # -- sockets ---------------------------------------------------------------------
+
+    def socket(self) -> SyscallGen:
+        """Create a socket descriptor."""
+        return self.syscall(Syscall.SOCKET)
+
+    def bind(self, fd: int, port: int) -> SyscallGen:
+        """Bind socket *fd* to *port*."""
+        return self.syscall(Syscall.BIND, fd, port)
+
+    def listen(self, fd: int, backlog: int = 128) -> SyscallGen:
+        """Mark socket *fd* as listening."""
+        return self.syscall(Syscall.LISTEN, fd, backlog)
+
+    def accept(self, fd: int) -> SyscallGen:
+        """Accept a pending connection on listening socket *fd*."""
+        return self.syscall(Syscall.ACCEPT, fd)
+
+    def recv(self, fd: int, count: int) -> SyscallGen:
+        """Receive up to *count* bytes from connected socket *fd*."""
+        return self.syscall(Syscall.RECV, fd, count)
+
+    def send(self, fd: int, data: bytes | str) -> SyscallGen:
+        """Send *data* on connected socket *fd*."""
+        return self.syscall(Syscall.SEND, fd, data)
+
+    def shutdown(self, fd: int) -> SyscallGen:
+        """Shut down the socket at *fd*."""
+        return self.syscall(Syscall.SHUTDOWN, fd)
+
+    # -- misc ----------------------------------------------------------------------------
+
+    def time(self) -> SyscallGen:
+        """Return the kernel's virtual clock."""
+        return self.syscall(Syscall.TIME)
+
+    def getrandom(self, count: int) -> SyscallGen:
+        """Return *count* deterministic pseudo-random bytes."""
+        return self.syscall(Syscall.GETRANDOM, count)
+
+    def nanosleep(self, ticks: int) -> SyscallGen:
+        """Advance the virtual clock by *ticks*."""
+        return self.syscall(Syscall.NANOSLEEP, ticks)
+
+    # -- detection calls (Table 2 of the paper) ----------------------------------------
+
+    def uid_value(self, uid: int) -> SyscallGen:
+        """Expose a single UID use to the monitor; returns the passed value."""
+        return self.syscall(Syscall.UID_VALUE, uid)
+
+    def cond_chk(self, condition: bool) -> SyscallGen:
+        """Expose a UID-influenced conditional to the monitor."""
+        return self.syscall(Syscall.COND_CHK, bool(condition))
+
+    def cc_eq(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID equality comparison."""
+        return self.syscall(Syscall.CC_EQ, left, right)
+
+    def cc_neq(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID inequality comparison."""
+        return self.syscall(Syscall.CC_NEQ, left, right)
+
+    def cc_lt(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID less-than comparison."""
+        return self.syscall(Syscall.CC_LT, left, right)
+
+    def cc_leq(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID less-or-equal comparison."""
+        return self.syscall(Syscall.CC_LEQ, left, right)
+
+    def cc_gt(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID greater-than comparison."""
+        return self.syscall(Syscall.CC_GT, left, right)
+
+    def cc_geq(self, left: int, right: int) -> SyscallGen:
+        """Cross-checked UID greater-or-equal comparison."""
+        return self.syscall(Syscall.CC_GEQ, left, right)
+
+
+#: A module-level instance; Libc is stateless so sharing it is safe.
+libc = Libc()

@@ -1,0 +1,151 @@
+"""Simplified network stack for the simulated kernel.
+
+The paper's threat model is a *remote attacker*: all attack data arrives over
+the same network channel as legitimate client requests, and the N-variant
+framework replicates that input to every variant.  We therefore only need a
+network model rich enough to (a) let the mini-httpd bind, listen, accept,
+receive and send, and (b) let workload generators and attack drivers inject
+request bytes and read back responses.
+
+Connections are plain in-memory byte queues.  Delivery is deterministic and
+FIFO, which keeps N-variant runs reproducible -- the simulated analogue of
+the paper's framework removing input non-determinism by having the kernel
+perform each input system call once.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.kernel.errors import Errno, KernelError
+
+
+@dataclasses.dataclass
+class Connection:
+    """One client connection: inbound request bytes and outbound response bytes."""
+
+    connection_id: int
+    client: str = "client"
+    inbound: bytearray = dataclasses.field(default_factory=bytearray)
+    outbound: bytearray = dataclasses.field(default_factory=bytearray)
+    closed_by_client: bool = False
+    closed_by_server: bool = False
+
+    def queue_request(self, data: bytes) -> None:
+        """Append client request bytes for the server to read."""
+        self.inbound.extend(data)
+
+    def finish_request(self) -> None:
+        """Mark that the client has finished sending (half-close)."""
+        self.closed_by_client = True
+
+    def recv(self, count: int) -> bytes:
+        """Server-side receive of up to *count* bytes (empty means EOF)."""
+        if count < 0:
+            raise KernelError(Errno.EINVAL, "negative recv count")
+        data = bytes(self.inbound[:count])
+        del self.inbound[:count]
+        return data
+
+    def send(self, data: bytes) -> int:
+        """Server-side send; bytes accumulate for the client to read."""
+        if self.closed_by_server:
+            raise KernelError(Errno.EPIPE, "connection closed by server")
+        self.outbound.extend(data)
+        return len(data)
+
+    def response_bytes(self) -> bytes:
+        """Client-side view of everything the server has sent."""
+        return bytes(self.outbound)
+
+
+@dataclasses.dataclass
+class ListeningSocket:
+    """A bound, listening server socket with a queue of pending connections.
+
+    ``bound`` distinguishes a listener the server has actually bound from a
+    placeholder created by an early client connect (workload drivers queue
+    their requests before the simulated server runs; see
+    :meth:`NetworkStack.connect`).
+    """
+
+    port: int
+    backlog: int = 128
+    bound: bool = False
+    pending: collections.deque = dataclasses.field(default_factory=collections.deque)
+
+    def enqueue(self, connection: Connection) -> None:
+        """Queue an incoming client connection for ``accept``."""
+        if len(self.pending) >= self.backlog:
+            raise KernelError(Errno.ECONNREFUSED, f"backlog full on port {self.port}")
+        self.pending.append(connection)
+
+    def has_pending(self) -> bool:
+        """True when a connection is waiting to be accepted."""
+        return bool(self.pending)
+
+    def accept(self) -> Connection:
+        """Dequeue the next pending connection."""
+        if not self.pending:
+            raise KernelError(Errno.EAGAIN, "no pending connections")
+        return self.pending.popleft()
+
+
+class NetworkStack:
+    """Host-wide network state: bound ports and all connections ever made."""
+
+    def __init__(self) -> None:
+        self.listeners: dict[int, ListeningSocket] = {}
+        self.connections: list[Connection] = []
+        self._next_connection_id = 1
+
+    def bind(self, port: int, backlog: int = 128) -> ListeningSocket:
+        """Bind and listen on *port*; raises ``EADDRINUSE`` if already bound.
+
+        If clients connected before the server bound (the workload drivers
+        queue every request up front because the simulation is not
+        concurrent), the placeholder listener and its pending connections are
+        adopted rather than rejected.
+        """
+        existing = self.listeners.get(port)
+        if existing is not None:
+            if existing.bound:
+                raise KernelError(Errno.EADDRINUSE, f"port {port} already bound")
+            existing.bound = True
+            existing.backlog = max(existing.backlog, backlog)
+            return existing
+        listener = ListeningSocket(port=port, backlog=backlog, bound=True)
+        self.listeners[port] = listener
+        return listener
+
+    def unbind(self, port: int) -> None:
+        """Release *port* (server shutdown)."""
+        self.listeners.pop(port, None)
+
+    def connect(self, port: int, request: bytes = b"", *, client: str = "client") -> Connection:
+        """Client-side connect: create a connection and queue it on the listener.
+
+        The *request* bytes, if given, are queued immediately so the server's
+        subsequent ``recv`` calls see them.  Returns the connection so the
+        caller can later read the server's response.
+        """
+        listener = self.listeners.get(port)
+        if listener is None:
+            # Create a placeholder listener so drivers can queue requests
+            # before the simulated server has had a chance to run and bind.
+            listener = ListeningSocket(port=port, backlog=1 << 16, bound=False)
+            self.listeners[port] = listener
+        connection = Connection(connection_id=self._next_connection_id, client=client)
+        self._next_connection_id += 1
+        if request:
+            connection.queue_request(request)
+            connection.finish_request()
+        listener.enqueue(connection)
+        self.connections.append(connection)
+        return connection
+
+    def pending_count(self, port: int) -> int:
+        """Number of connections waiting to be accepted on *port*."""
+        listener = self.listeners.get(port)
+        return len(listener.pending) if listener else 0

@@ -1,0 +1,186 @@
+"""Running simulated programs against the kernel.
+
+A *program* in this reproduction is a Python generator: it yields
+:class:`~repro.kernel.syscalls.SyscallRequest` objects whenever it needs a
+kernel service and receives :class:`~repro.kernel.syscalls.SyscallResult`
+objects back.  This module provides the single-process runner (used for the
+"unmodified Apache" baseline, Configuration 1 of Table 3) and a small
+round-robin scheduler for running several independent processes.
+
+The N-variant lockstep engine in :mod:`repro.core.nvariant` uses the same
+program protocol but interposes the monitor and wrapper layer between the
+programs and the kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator, Iterable
+
+from repro.kernel.errors import VariantFault
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
+
+#: Type alias for the program protocol.
+Program = Generator[SyscallRequest, SyscallResult, Any]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of running a single program to completion."""
+
+    process: Process
+    steps: int
+    return_value: Any = None
+    fault: VariantFault | None = None
+    trace: list[SyscallRequest] = dataclasses.field(default_factory=list)
+
+    @property
+    def exited_normally(self) -> bool:
+        """True when the program finished without faulting."""
+        return self.fault is None and self.process.fault_reason is None
+
+    @property
+    def exit_code(self) -> int | None:
+        """The exit code passed to ``exit``, if any."""
+        return self.process.exit_code
+
+
+class ProgramRunner:
+    """Runs one program to completion against a kernel."""
+
+    def __init__(self, kernel: SimulatedKernel, *, max_steps: int = 1_000_000, keep_trace: bool = False):
+        self.kernel = kernel
+        self.max_steps = max_steps
+        self.keep_trace = keep_trace
+
+    def run(self, process: Process, program: Program) -> RunResult:
+        """Drive *program* until it returns, exits, or faults."""
+        steps = 0
+        trace: list[SyscallRequest] = []
+        result: SyscallResult | None = None
+        return_value: Any = None
+        fault: VariantFault | None = None
+        try:
+            request = program.send(None)
+            while True:
+                steps += 1
+                if steps > self.max_steps:
+                    raise RuntimeError(f"program exceeded {self.max_steps} steps")
+                if not isinstance(request, SyscallRequest):
+                    raise TypeError(f"program yielded {request!r}, expected a SyscallRequest")
+                if self.keep_trace:
+                    trace.append(request)
+                result = self.kernel.execute(process, request)
+                if request.name is Syscall.EXIT or not process.alive:
+                    break
+                request = program.send(result)
+        except StopIteration as stop:
+            return_value = stop.value
+        except VariantFault as caught:
+            fault = caught
+            process.fault(f"{caught.kind}: {caught.message}")
+        finally:
+            program.close()
+        if process.alive and process.exit_code is None and fault is None:
+            # Program returned without calling exit(); treat as a clean exit 0.
+            process.exit(0)
+        return RunResult(
+            process=process,
+            steps=steps,
+            return_value=return_value,
+            fault=fault,
+            trace=trace,
+        )
+
+
+class RoundRobinScheduler:
+    """Interleaves several independent programs, one syscall at a time.
+
+    This is deliberately simple: the paper's framework synchronises variants
+    of the *same* program; this scheduler exists so test scenarios can run
+    auxiliary processes (for example a log-rotation job next to the server)
+    on a single simulated host.
+    """
+
+    def __init__(self, kernel: SimulatedKernel, *, max_total_steps: int = 5_000_000):
+        self.kernel = kernel
+        self.max_total_steps = max_total_steps
+        self._jobs: list[tuple[Process, Program]] = []
+
+    def add(self, process: Process, program: Program) -> None:
+        """Register a program to run."""
+        self._jobs.append((process, program))
+
+    def run_all(self) -> list[RunResult]:
+        """Run every registered program to completion, round-robin."""
+        pending: list[dict[str, Any]] = []
+        for process, program in self._jobs:
+            pending.append(
+                {
+                    "process": process,
+                    "program": program,
+                    "result": None,
+                    "steps": 0,
+                    "done": False,
+                    "return_value": None,
+                    "fault": None,
+                    "started": False,
+                }
+            )
+        total_steps = 0
+        while any(not job["done"] for job in pending):
+            for job in pending:
+                if job["done"]:
+                    continue
+                total_steps += 1
+                if total_steps > self.max_total_steps:
+                    raise RuntimeError("scheduler exceeded maximum total steps")
+                process: Process = job["process"]
+                program: Program = job["program"]
+                try:
+                    if not job["started"]:
+                        request = program.send(None)
+                        job["started"] = True
+                    else:
+                        request = program.send(job["result"])
+                    job["steps"] += 1
+                    job["result"] = self.kernel.execute(process, request)
+                    if request.name is Syscall.EXIT or not process.alive:
+                        job["done"] = True
+                        program.close()
+                except StopIteration as stop:
+                    job["return_value"] = stop.value
+                    job["done"] = True
+                    if process.alive and process.exit_code is None:
+                        process.exit(0)
+                except VariantFault as caught:
+                    job["fault"] = caught
+                    process.fault(f"{caught.kind}: {caught.message}")
+                    job["done"] = True
+                    program.close()
+        return [
+            RunResult(
+                process=job["process"],
+                steps=job["steps"],
+                return_value=job["return_value"],
+                fault=job["fault"],
+            )
+            for job in pending
+        ]
+
+
+def run_program(
+    kernel: SimulatedKernel,
+    program: Program,
+    *,
+    name: str = "proc",
+    process: Process | None = None,
+    keep_trace: bool = False,
+) -> RunResult:
+    """Convenience wrapper: spawn a process (if needed) and run *program*."""
+    if process is None:
+        process = kernel.spawn_process(name)
+    runner = ProgramRunner(kernel, keep_trace=keep_trace)
+    return runner.run(process, program)

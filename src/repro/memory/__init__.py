@@ -1,0 +1,55 @@
+"""Simulated memory substrate: address spaces, regions, variables, corruption.
+
+This package stands in for the real process memory the paper's attacks
+operate on.  It provides:
+
+* :class:`~repro.memory.address_space.AddressSpace` -- per-variant address
+  spaces with high-bit partitioning (the Figure 1 variation);
+* :class:`~repro.memory.memory_model.MemoryRegion` /
+  :class:`~repro.memory.memory_model.MemoryVariable` /
+  :class:`~repro.memory.memory_model.StackFrame` -- byte-addressable storage
+  for the security-critical program data the UID variation protects;
+* :mod:`~repro.memory.corruption` -- the corruption primitives (full-word,
+  partial-byte, bit-flip overwrites and buffer overflows) used by the attack
+  library and the detection-property analyses.
+"""
+
+from repro.memory.address_space import ADDRESS_MASK, PARTITION_BIT, AddressSpace
+from repro.memory.corruption import (
+    CorruptionSpec,
+    apply_corruption,
+    corruption_outcomes,
+    detectable_by_disjoint_inverses,
+    flip_bit,
+    overflow_buffer,
+    overflow_payload,
+    overwrite_low_bytes,
+    overwrite_word,
+)
+from repro.memory.memory_model import (
+    WORD_MASK,
+    WORD_SIZE,
+    MemoryRegion,
+    MemoryVariable,
+    StackFrame,
+)
+
+__all__ = [
+    "ADDRESS_MASK",
+    "PARTITION_BIT",
+    "AddressSpace",
+    "CorruptionSpec",
+    "MemoryRegion",
+    "MemoryVariable",
+    "StackFrame",
+    "WORD_MASK",
+    "WORD_SIZE",
+    "apply_corruption",
+    "corruption_outcomes",
+    "detectable_by_disjoint_inverses",
+    "flip_bit",
+    "overflow_buffer",
+    "overflow_payload",
+    "overwrite_low_bytes",
+    "overwrite_word",
+]

@@ -1,0 +1,144 @@
+"""Simulated process address spaces with partitioning support.
+
+Address-space partitioning (Figure 1 and Table 1 of the paper) builds two
+variants whose valid addresses are disjoint: variant 0 only uses addresses
+with the high bit clear, variant 1 only addresses with the high bit set
+(``R_1(a) = a + 0x80000000``).  Any attack that injects a *concrete absolute
+address* can therefore be valid in at most one variant; the other variant's
+access raises a segmentation fault which the monitor reports.
+
+This module models that property directly: an :class:`AddressSpace` owns a
+set of mapped :class:`~repro.memory.memory_model.MemoryRegion` objects and a
+partition constraint.  Every load/store validates that the address lies in
+the variant's partition *and* inside a mapped region; otherwise it raises
+:class:`~repro.kernel.errors.SegmentationFault`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.errors import SegmentationFault
+from repro.memory.memory_model import MemoryRegion
+
+#: Size of the simulated address space (32-bit).
+ADDRESS_BITS = 32
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: The bit used to partition address spaces between two variants.
+PARTITION_BIT = 0x80000000
+
+
+class AddressSpace:
+    """A single variant's view of memory.
+
+    Parameters
+    ----------
+    partition:
+        ``None`` for an unpartitioned space (ordinary process), ``0`` for the
+        low partition (addresses with the high bit clear) and ``1`` for the
+        high partition (addresses with the high bit set).
+    base_offset:
+        Added to every region's nominal base when the space is created via
+        :meth:`map_region`; this is how the extended partitioning variation
+        (Bruschi et al.) adds an extra offset on top of the partition bit.
+    """
+
+    def __init__(self, partition: Optional[int] = None, base_offset: int = 0):
+        if partition not in (None, 0, 1):
+            raise ValueError(f"partition must be None, 0 or 1, got {partition!r}")
+        self.partition = partition
+        self.base_offset = base_offset
+        self.regions: list[MemoryRegion] = []
+
+    # -- address validity ----------------------------------------------------
+
+    def partition_base(self) -> int:
+        """The offset this space adds to nominal (variant-neutral) addresses."""
+        if self.partition in (None, 0):
+            return self.base_offset if self.partition == 1 else 0
+        return PARTITION_BIT + self.base_offset
+
+    def in_partition(self, address: int) -> bool:
+        """True when *address* falls inside this space's partition."""
+        address &= ADDRESS_MASK
+        if self.partition is None:
+            return True
+        high_bit_set = bool(address & PARTITION_BIT)
+        return high_bit_set == (self.partition == 1)
+
+    def translate(self, nominal_address: int) -> int:
+        """Map a variant-neutral *nominal* address into this space.
+
+        This is the reexpression function ``R_i`` for addresses: identity for
+        the low partition, ``+0x80000000 (+offset)`` for the high partition.
+        """
+        return (nominal_address + self.partition_base()) & ADDRESS_MASK
+
+    def untranslate(self, address: int) -> int:
+        """Inverse reexpression: map an address back to its nominal value."""
+        return (address - self.partition_base()) & ADDRESS_MASK
+
+    # -- region management -----------------------------------------------------
+
+    def map_region(self, region: MemoryRegion) -> MemoryRegion:
+        """Map *region* into this space, relocating it into the partition.
+
+        The region's base address is interpreted as nominal and shifted by
+        :meth:`partition_base`, so the same program maps "the stack at
+        nominal 0x00100000" and ends up with disjoint concrete addresses in
+        the two variants.
+        """
+        relocated = region.relocate(self.translate(region.base))
+        for existing in self.regions:
+            if relocated.overlaps(existing):
+                raise ValueError(
+                    f"region {relocated.name} overlaps existing region {existing.name}"
+                )
+        self.regions.append(relocated)
+        return relocated
+
+    def region_for(self, address: int) -> MemoryRegion:
+        """Find the mapped region containing *address* or fault."""
+        address &= ADDRESS_MASK
+        if not self.in_partition(address):
+            raise SegmentationFault(
+                f"address 0x{address:08x} outside partition {self.partition}",
+                address=address,
+            )
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        raise SegmentationFault(f"unmapped address 0x{address:08x}", address=address)
+
+    def find_region(self, name: str) -> MemoryRegion:
+        """Find a mapped region by name (raises ``KeyError`` if absent)."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    # -- access ------------------------------------------------------------------
+
+    def load_bytes(self, address: int, count: int) -> bytes:
+        """Read *count* bytes starting at *address* (may span one region only)."""
+        region = self.region_for(address)
+        return region.read(address, count)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write *data* starting at *address*."""
+        region = self.region_for(address)
+        region.write(address, data)
+
+    def load_word(self, address: int) -> int:
+        """Read a 32-bit little-endian word."""
+        return int.from_bytes(self.load_bytes(address, 4), "little")
+
+    def store_word(self, address: int, value: int) -> None:
+        """Write a 32-bit little-endian word."""
+        self.store_bytes(address, (value & ADDRESS_MASK).to_bytes(4, "little"))
+
+    def dereference(self, pointer: int, count: int = 4) -> bytes:
+        """Follow *pointer* and read *count* bytes -- the operation an
+        absolute-address-injection attack ultimately needs to succeed."""
+        return self.load_bytes(pointer, count)

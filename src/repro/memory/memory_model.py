@@ -1,0 +1,201 @@
+"""Byte-addressable memory regions and typed variables bound to addresses.
+
+The UID variation defends against *non-control-data* attacks (Chen et al.):
+the attacker corrupts an in-memory data value -- here a ``uid_t`` variable --
+so that the unmodified program later misbehaves (e.g. fails to drop
+privileges).  To reproduce that attack surface faithfully the mini-httpd
+stores its security-critical state in simulated memory: fixed-size buffers
+that unchecked copies can overflow, adjacent to the UID fields the attacker
+wants to reach.
+
+:class:`MemoryRegion` is a named, contiguous byte array with a base address.
+:class:`MemoryVariable` is a typed view (32-bit word or byte buffer) at a
+fixed offset within a region, which is how programs in this reproduction
+declare "a local ``uid_t`` at this stack slot".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.kernel.errors import SegmentationFault
+
+WORD_SIZE = 4
+WORD_MASK = 0xFFFFFFFF
+
+
+class MemoryRegion:
+    """A contiguous block of simulated memory."""
+
+    def __init__(self, name: str, base: int, size: int):
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        if base < 0:
+            raise ValueError("region base must be non-negative")
+        self.name = name
+        self.base = base
+        self.data = bytearray(size)
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Region size in bytes."""
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """True when *address* falls inside the region."""
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        """True when this region overlaps *other*."""
+        return self.base < other.end and other.base < self.end
+
+    def relocate(self, new_base: int) -> "MemoryRegion":
+        """Return a copy of this region rebased at *new_base*."""
+        clone = MemoryRegion(self.name, new_base, self.size)
+        clone.data[:] = self.data
+        return clone
+
+    # -- raw access ----------------------------------------------------------
+
+    def _check_range(self, address: int, count: int) -> int:
+        if count < 0:
+            raise ValueError("negative byte count")
+        if not self.contains(address) or address + count > self.end:
+            raise SegmentationFault(
+                f"access [0x{address:08x}, +{count}) outside region {self.name}",
+                address=address,
+            )
+        return address - self.base
+
+    def read(self, address: int, count: int) -> bytes:
+        """Read *count* bytes at absolute *address*."""
+        offset = self._check_range(address, count)
+        return bytes(self.data[offset : offset + count])
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write *data* at absolute *address*."""
+        offset = self._check_range(address, len(data))
+        self.data[offset : offset + len(data)] = data
+
+    def read_word(self, address: int) -> int:
+        """Read a 32-bit little-endian word at *address*."""
+        return int.from_bytes(self.read(address, WORD_SIZE), "little")
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a 32-bit little-endian word at *address*."""
+        self.write(address, (value & WORD_MASK).to_bytes(WORD_SIZE, "little"))
+
+    # -- unchecked access (the vulnerability primitive) ------------------------
+
+    def unchecked_copy(self, address: int, data: bytes) -> int:
+        """Copy *data* to *address* without bounds checking against sub-buffers.
+
+        This models the classic ``strcpy``-style bug: the copy is bounded only
+        by the *region* (so it cannot escape the simulated process), but it is
+        free to run past the end of a logical buffer inside the region and
+        clobber whatever lives next to it -- for example a ``uid_t`` field.
+        Returns the number of bytes actually written.
+        """
+        if not self.contains(address):
+            raise SegmentationFault(
+                f"copy target 0x{address:08x} outside region {self.name}", address=address
+            )
+        writable = min(len(data), self.end - address)
+        offset = address - self.base
+        self.data[offset : offset + writable] = data[:writable]
+        return writable
+
+
+@dataclasses.dataclass
+class MemoryVariable:
+    """A typed program variable bound to a fixed location in a region.
+
+    ``kind`` is ``"word"`` for a 32-bit value (uid_t, pointer, int) or
+    ``"buffer"`` for a fixed-size byte buffer.
+    """
+
+    name: str
+    region: MemoryRegion
+    offset: int
+    kind: str = "word"
+    size: int = WORD_SIZE
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("word", "buffer"):
+            raise ValueError(f"unknown variable kind {self.kind!r}")
+        if self.kind == "word":
+            self.size = WORD_SIZE
+        if self.offset < 0 or self.offset + self.size > self.region.size:
+            raise ValueError(f"variable {self.name} does not fit in region {self.region.name}")
+
+    @property
+    def address(self) -> int:
+        """Absolute address of this variable."""
+        return self.region.base + self.offset
+
+    # -- word access ----------------------------------------------------------
+
+    def get(self) -> int:
+        """Read the variable as a 32-bit word."""
+        return self.region.read_word(self.address)
+
+    def set(self, value: int) -> None:
+        """Write the variable as a 32-bit word."""
+        self.region.write_word(self.address, value)
+
+    # -- buffer access ----------------------------------------------------------
+
+    def get_bytes(self) -> bytes:
+        """Read the variable's full byte extent."""
+        return self.region.read(self.address, self.size)
+
+    def set_bytes(self, data: bytes) -> None:
+        """Write bytes into the variable, bounds-checked against its size."""
+        if len(data) > self.size:
+            raise ValueError(f"{len(data)} bytes do not fit in {self.name} ({self.size} bytes)")
+        self.region.write(self.address, data)
+
+
+class StackFrame:
+    """A stack-frame-like layout helper.
+
+    Variables are allocated at increasing offsets in declaration order, which
+    fixes the adjacency the overflow attacks rely on: a buffer declared just
+    before a ``uid_t`` sits at lower addresses, so an overflow of the buffer
+    runs forward into the ``uid_t``.
+    """
+
+    def __init__(self, region: MemoryRegion, *, start_offset: int = 0):
+        self.region = region
+        self._cursor = start_offset
+        self.variables: dict[str, MemoryVariable] = {}
+
+    def alloc_word(self, name: str, initial: int = 0) -> MemoryVariable:
+        """Allocate a 32-bit variable."""
+        variable = MemoryVariable(name, self.region, self._cursor, kind="word")
+        self._cursor += WORD_SIZE
+        variable.set(initial)
+        self.variables[name] = variable
+        return variable
+
+    def alloc_buffer(self, name: str, size: int) -> MemoryVariable:
+        """Allocate a fixed-size byte buffer."""
+        variable = MemoryVariable(name, self.region, self._cursor, kind="buffer", size=size)
+        self._cursor += size
+        self.variables[name] = variable
+        return variable
+
+    def __getitem__(self, name: str) -> MemoryVariable:
+        return self.variables[name]
+
+    def layout(self) -> list[tuple[str, int, int]]:
+        """Return ``(name, offset, size)`` tuples in allocation order."""
+        ordered = sorted(self.variables.values(), key=lambda v: v.offset)
+        return [(v.name, v.offset, v.size) for v in ordered]

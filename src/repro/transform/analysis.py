@@ -1,0 +1,203 @@
+"""UID type and dataflow analysis over the mini-C AST.
+
+Section 4 of the paper describes how UID-carrying variables are found: if the
+programmer used ``uid_t``/``gid_t`` consistently, the declarations say it all;
+otherwise a Splint-style dataflow pass infers UID-ness from the known
+signatures of functions that produce or consume UIDs (``getuid``, ``setuid``,
+``getpwuid``, the ``pw_uid`` field, ...).  This module implements both: a
+declaration-driven type environment plus an iterate-to-fixpoint inference for
+plain ``int`` variables that receive UID values.
+
+It also computes the *UID-influenced* set -- variables whose values depend on
+UID data even if they are not UIDs themselves (for example a ``struct passwd
+*`` obtained from ``getpwuid``) -- which is what the cond_chk insertion rule
+needs (Section 3.5: conditions "which UID values may directly or indirectly
+affect").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.transform.ast_nodes import (
+    Assignment,
+    Binary,
+    Call,
+    Declaration,
+    Expr,
+    FieldAccess,
+    Function,
+    Identifier,
+    IntLiteral,
+    TranslationUnit,
+    Unary,
+    is_uid_type,
+    walk_expressions,
+    walk_statements,
+)
+
+#: Library/system functions that return a UID-typed value.
+UID_RETURNING_FUNCTIONS = frozenset(
+    {"getuid", "geteuid", "getgid", "getegid", "uid_value", "name_to_uid", "name_to_gid"}
+)
+
+#: Library/system functions with UID-typed parameters: name -> argument indices.
+UID_PARAMETER_FUNCTIONS: dict[str, tuple[int, ...]] = {
+    "setuid": (0,),
+    "seteuid": (0,),
+    "setgid": (0,),
+    "setegid": (0,),
+    "setreuid": (0, 1),
+    "setresuid": (0, 1, 2),
+    "chown": (1, 2),
+    "getpwuid": (0,),
+    "getgrgid": (0,),
+    "uid_value": (0,),
+    "cc_eq": (0, 1),
+    "cc_neq": (0, 1),
+    "cc_lt": (0, 1),
+    "cc_leq": (0, 1),
+    "cc_gt": (0, 1),
+    "cc_geq": (0, 1),
+}
+
+#: Struct fields that hold UID-typed values (struct passwd / struct group).
+UID_FIELDS = frozenset({"pw_uid", "pw_gid", "gr_gid"})
+
+#: Functions whose *results* depend on UID inputs (used for taint/influence).
+UID_INFLUENCED_RESULTS = frozenset({"getpwuid", "getgrgid", "getpwnam", "getgrnam"})
+
+
+@dataclasses.dataclass
+class FunctionAnalysis:
+    """Per-function analysis results."""
+
+    name: str
+    uid_variables: set[str] = dataclasses.field(default_factory=set)
+    influenced_variables: set[str] = dataclasses.field(default_factory=set)
+
+
+class UIDAnalysis:
+    """Whole-program UID typing, inference and influence analysis."""
+
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+        self.functions: dict[str, FunctionAnalysis] = {}
+        self.global_uid_variables: set[str] = set()
+        self.global_influenced: set[str] = set()
+        self._analyse()
+
+    # -- public queries -----------------------------------------------------------
+
+    def uid_variables(self, function_name: str) -> set[str]:
+        """Names of UID-typed variables visible inside *function_name*."""
+        local = self.functions.get(function_name)
+        names = set(self.global_uid_variables)
+        if local is not None:
+            names |= local.uid_variables
+        return names
+
+    def is_uid_expression(self, expr: Expr, function_name: str) -> bool:
+        """True when *expr* denotes a UID-typed value."""
+        if expr is None:
+            return False
+        if isinstance(expr, Identifier):
+            return expr.name in self.uid_variables(function_name)
+        if isinstance(expr, FieldAccess):
+            return expr.field in UID_FIELDS
+        if isinstance(expr, Call):
+            return expr.func in UID_RETURNING_FUNCTIONS
+        if isinstance(expr, IntLiteral):
+            return is_uid_type(expr.ctype)
+        if isinstance(expr, Unary) and expr.op == "-":
+            return self.is_uid_expression(expr.operand, function_name)
+        return is_uid_type(getattr(expr, "ctype", None))
+
+    def is_uid_influenced(self, expr: Expr, function_name: str) -> bool:
+        """True when any part of *expr* depends directly or indirectly on UIDs."""
+        local = self.functions.get(function_name)
+        influenced = set(self.global_influenced)
+        if local is not None:
+            influenced |= local.influenced_variables
+        for node in walk_expressions(expr):
+            if self.is_uid_expression(node, function_name):
+                return True
+            if isinstance(node, Identifier) and node.name in influenced:
+                return True
+            if isinstance(node, Call) and node.func in UID_INFLUENCED_RESULTS:
+                return True
+        return False
+
+    # -- analysis ------------------------------------------------------------------------
+
+    def _analyse(self) -> None:
+        for variable in self.unit.globals:
+            if is_uid_type(variable.ctype):
+                self.global_uid_variables.add(variable.name)
+        for function in self.unit.functions:
+            self.functions[function.name] = self._analyse_function(function)
+
+    def _analyse_function(self, function: Function) -> FunctionAnalysis:
+        analysis = FunctionAnalysis(name=function.name)
+
+        for parameter in function.parameters:
+            if is_uid_type(parameter.ctype):
+                analysis.uid_variables.add(parameter.name)
+        for statement in walk_statements(function.body):
+            if isinstance(statement, Declaration) and is_uid_type(statement.ctype):
+                analysis.uid_variables.add(statement.name)
+
+        # Fixpoint inference for plain-int variables that carry UID values and
+        # for UID-influenced variables (Splint-style annotations would give
+        # the same result; the iteration handles chains of assignments).
+        changed = True
+        while changed:
+            changed = False
+            for statement in walk_statements(function.body):
+                source: Optional[Expr] = None
+                target_name: Optional[str] = None
+                if isinstance(statement, Declaration) and statement.init is not None:
+                    source, target_name = statement.init, statement.name
+                elif isinstance(statement, Assignment) and isinstance(statement.target, Identifier):
+                    source, target_name = statement.value, statement.target.name
+                if source is None or target_name is None:
+                    continue
+                if (
+                    target_name not in analysis.uid_variables
+                    and self._expression_is_uid(source, analysis)
+                ):
+                    analysis.uid_variables.add(target_name)
+                    changed = True
+                if (
+                    target_name not in analysis.influenced_variables
+                    and self._expression_is_influenced(source, analysis)
+                ):
+                    analysis.influenced_variables.add(target_name)
+                    changed = True
+        return analysis
+
+    def _expression_is_uid(self, expr: Expr, analysis: FunctionAnalysis) -> bool:
+        if isinstance(expr, Identifier):
+            return expr.name in analysis.uid_variables or expr.name in self.global_uid_variables
+        if isinstance(expr, FieldAccess):
+            return expr.field in UID_FIELDS
+        if isinstance(expr, Call):
+            return expr.func in UID_RETURNING_FUNCTIONS
+        if isinstance(expr, Binary) and expr.op in ("+", "-"):
+            return self._expression_is_uid(expr.left, analysis) or self._expression_is_uid(
+                expr.right, analysis
+            )
+        return False
+
+    def _expression_is_influenced(self, expr: Expr, analysis: FunctionAnalysis) -> bool:
+        for node in walk_expressions(expr):
+            if self._expression_is_uid(node, analysis):
+                return True
+            if isinstance(node, Identifier) and (
+                node.name in analysis.influenced_variables or node.name in self.global_influenced
+            ):
+                return True
+            if isinstance(node, Call) and node.func in UID_INFLUENCED_RESULTS:
+                return True
+        return False

@@ -1,0 +1,242 @@
+"""Abstract syntax tree for the mini-C subset.
+
+Nodes are small dataclasses; every expression node carries an optional
+``ctype`` filled in by the type/dataflow analysis so the transformer can ask
+"is this a UID-typed expression?" at any point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+#: Type names treated as UID-like by the transformation (Section 3.3 treats
+#: uid_t and gid_t together; we do the same).
+UID_TYPES = frozenset({"uid_t", "gid_t"})
+
+
+@dataclasses.dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is filled by analysis."""
+
+    ctype: Optional[str] = None
+
+
+@dataclasses.dataclass
+class IntLiteral(Expr):
+    """An integer constant (decimal or hex in the source)."""
+
+    value: int = 0
+    original_text: str = ""
+
+
+@dataclasses.dataclass
+class StringLiteral(Expr):
+    """A string constant (kept verbatim, including quotes)."""
+
+    text: str = '""'
+
+
+@dataclasses.dataclass
+class NullLiteral(Expr):
+    """The NULL constant."""
+
+
+@dataclasses.dataclass
+class BoolLiteral(Expr):
+    """true / false."""
+
+    value: bool = False
+
+
+@dataclasses.dataclass
+class Identifier(Expr):
+    """A variable reference."""
+
+    name: str = ""
+
+
+@dataclasses.dataclass
+class FieldAccess(Expr):
+    """``base->field`` or ``base.field`` (arrow flag records which)."""
+
+    base: Expr = None
+    field: str = ""
+    arrow: bool = True
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    """A function call."""
+
+    func: str = ""
+    args: list[Expr] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Unary(Expr):
+    """A unary operation (``!`` or ``-``)."""
+
+    op: str = "!"
+    operand: Expr = None
+
+
+@dataclasses.dataclass
+class Binary(Expr):
+    """A binary operation."""
+
+    op: str = "=="
+    left: Expr = None
+    right: Expr = None
+
+
+#: Comparison operators eligible for the cc_* rewrite.
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclasses.dataclass
+class Declaration(Stmt):
+    """``type name [= init];``"""
+
+    ctype: str = "int"
+    name: str = ""
+    init: Optional[Expr] = None
+    pointer: bool = False
+
+
+@dataclasses.dataclass
+class Assignment(Stmt):
+    """``target = value;`` (target is an identifier or field access)."""
+
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effect (usually a call)."""
+
+    expr: Expr = None
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    """``if (cond) {...} [else {...}]``"""
+
+    cond: Expr = None
+    then_body: list[Stmt] = dataclasses.field(default_factory=list)
+    else_body: list[Stmt] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class While(Stmt):
+    """``while (cond) {...}``"""
+
+    cond: Expr = None
+    body: list[Stmt] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class Return(Stmt):
+    """``return [expr];``"""
+
+    value: Optional[Expr] = None
+
+
+# -- declarations ----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Parameter(Node):
+    """A function parameter."""
+
+    ctype: str = "int"
+    name: str = ""
+    pointer: bool = False
+
+
+@dataclasses.dataclass
+class Function(Node):
+    """A function definition."""
+
+    return_type: str = "void"
+    name: str = ""
+    parameters: list[Parameter] = dataclasses.field(default_factory=list)
+    body: list[Stmt] = dataclasses.field(default_factory=list)
+    return_pointer: bool = False
+
+
+@dataclasses.dataclass
+class GlobalVariable(Node):
+    """A file-scope variable definition."""
+
+    ctype: str = "int"
+    name: str = ""
+    init: Optional[Expr] = None
+    pointer: bool = False
+
+
+@dataclasses.dataclass
+class TranslationUnit(Node):
+    """A whole source file."""
+
+    globals: list[GlobalVariable] = dataclasses.field(default_factory=list)
+    functions: list[Function] = dataclasses.field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        """Look up a function by name."""
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)
+
+
+def is_uid_type(ctype: Optional[str]) -> bool:
+    """True when *ctype* names a UID-like type."""
+    return ctype in UID_TYPES
+
+
+def walk_expressions(expr: Expr):
+    """Yield *expr* and every sub-expression."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, FieldAccess):
+        yield from walk_expressions(expr.base)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expressions(arg)
+    elif isinstance(expr, Unary):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+
+
+def walk_statements(statements: Sequence[Stmt]):
+    """Yield every statement in *statements*, recursing into bodies."""
+    for statement in statements:
+        yield statement
+        if isinstance(statement, If):
+            yield from walk_statements(statement.then_body)
+            yield from walk_statements(statement.else_body)
+        elif isinstance(statement, While):
+            yield from walk_statements(statement.body)

@@ -1,0 +1,125 @@
+"""Tokenizer for the mini-C subset used by the UID transformation.
+
+The paper transforms Apache's C source by hand but argues (Section 5) that
+the transformation is mechanical: identify uid_t data, rewrite constants,
+comparisons and uses.  To demonstrate that, this package implements a small C
+subset front end -- enough to express the UID-relevant portions of a server --
+and an automatic transformer over it.
+
+The lexer is a conventional longest-match scanner producing a flat token
+list; line/column information is kept for error messages and for the change
+report (which records where each transformation was applied).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of the mini-C subset."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+#: Reserved words of the subset.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "uid_t",
+        "gid_t",
+        "bool",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "struct",
+        "NULL",
+        "true",
+        "false",
+        "static",
+        "const",
+    }
+)
+
+#: Multi-character punctuation, longest first so the scanner prefers them.
+MULTI_CHAR_PUNCT = ("==", "!=", "<=", ">=", "&&", "||", "->", "+=", "-=")
+
+#: Single-character punctuation.
+SINGLE_CHAR_PUNCT = "(){}[];,=<>!+-*/&|.%"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>==|!=|<=|>=|&&|\|\||->|\+=|-=|[(){}\[\];,=<>!+\-*/&|.%])
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class LexError(ValueError):
+    """Raised on input the scanner cannot tokenise."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan *source* into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise LexError(f"unexpected character {source[position]!r} at line {line}:{column}")
+        text = match.group(0)
+        column = position - line_start + 1
+        kind = match.lastgroup
+        if kind == "ident":
+            token_type = TokenType.KEYWORD if text in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, text, line, column))
+        elif kind == "number":
+            tokens.append(Token(TokenType.NUMBER, text, line, column))
+        elif kind == "string":
+            tokens.append(Token(TokenType.STRING, text, line, column))
+        elif kind == "char":
+            tokens.append(Token(TokenType.CHAR, text, line, column))
+        elif kind == "punct":
+            tokens.append(Token(TokenType.PUNCT, text, line, column))
+        # comments and whitespace are skipped, but line numbers must advance
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token(TokenType.EOF, "", line, len(source) - line_start + 1))
+    return tokens

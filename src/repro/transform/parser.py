@@ -1,0 +1,349 @@
+"""Recursive-descent parser for the mini-C subset."""
+
+from __future__ import annotations
+
+from repro.transform.ast_nodes import (
+    Assignment,
+    Binary,
+    BoolLiteral,
+    Call,
+    Declaration,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    Function,
+    GlobalVariable,
+    Identifier,
+    If,
+    IntLiteral,
+    NullLiteral,
+    Parameter,
+    Return,
+    Stmt,
+    StringLiteral,
+    TranslationUnit,
+    Unary,
+    While,
+)
+from repro.transform.lexer import Token, TokenType, tokenize
+
+#: Type keywords accepted in declarations.
+TYPE_KEYWORDS = ("int", "uid_t", "gid_t", "bool", "char", "void")
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid input."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} at line {token.line} (near {token.value!r})")
+        self.token = token
+
+
+class Parser:
+    """One-pass recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def check(self, value: str) -> bool:
+        return self.peek().value == value and self.peek().type in (
+            TokenType.PUNCT,
+            TokenType.KEYWORD,
+        )
+
+    def accept(self, value: str) -> bool:
+        if self.check(value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        if not self.check(value):
+            raise ParseError(f"expected {value!r}", self.peek())
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.IDENT:
+            raise ParseError("expected identifier", token)
+        return self.advance()
+
+    # -- declarations -----------------------------------------------------------------
+
+    def parse(self) -> TranslationUnit:
+        """Parse the whole token stream."""
+        unit = TranslationUnit(line=1)
+        while self.peek().type is not TokenType.EOF:
+            self._skip_qualifiers()
+            ctype, pointer, line = self._parse_type()
+            name = self.expect_ident().value
+            if self.check("("):
+                unit.functions.append(self._parse_function(ctype, pointer, name, line))
+            else:
+                init = None
+                if self.accept("="):
+                    init = self.parse_expression()
+                self.expect(";")
+                unit.globals.append(
+                    GlobalVariable(line=line, ctype=ctype, name=name, init=init, pointer=pointer)
+                )
+        return unit
+
+    def _skip_qualifiers(self) -> None:
+        while self.check("static") or self.check("const") or self.check("struct"):
+            self.advance()
+
+    def _parse_type(self) -> tuple[str, bool, int]:
+        token = self.peek()
+        if token.type is TokenType.KEYWORD and token.value in TYPE_KEYWORDS:
+            self.advance()
+        elif token.type is TokenType.IDENT:
+            # struct/typedef names (e.g. passwd) are accepted as opaque types.
+            self.advance()
+        else:
+            raise ParseError("expected a type name", token)
+        pointer = False
+        while self.accept("*"):
+            pointer = True
+        return token.value, pointer, token.line
+
+    def _parse_function(self, return_type: str, pointer: bool, name: str, line: int) -> Function:
+        self.expect("(")
+        parameters: list[Parameter] = []
+        if not self.check(")"):
+            if self.check("void") and self.peek(1).value == ")":
+                self.advance()
+            else:
+                while True:
+                    self._skip_qualifiers()
+                    ctype, param_pointer, param_line = self._parse_type()
+                    param_name = self.expect_ident().value
+                    parameters.append(
+                        Parameter(
+                            line=param_line, ctype=ctype, name=param_name, pointer=param_pointer
+                        )
+                    )
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        body = self._parse_block()
+        return Function(
+            line=line,
+            return_type=return_type,
+            name=name,
+            parameters=parameters,
+            body=body,
+            return_pointer=pointer,
+        )
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _parse_block(self) -> list[Stmt]:
+        self.expect("{")
+        statements: list[Stmt] = []
+        while not self.check("}"):
+            statements.append(self._parse_statement())
+        self.expect("}")
+        return statements
+
+    def _parse_body(self) -> list[Stmt]:
+        if self.check("{"):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    def _parse_statement(self) -> Stmt:
+        token = self.peek()
+        self._skip_qualifiers()
+        token = self.peek()
+        if token.value == "if":
+            return self._parse_if()
+        if token.value == "while":
+            return self._parse_while()
+        if token.value == "return":
+            return self._parse_return()
+        if token.type is TokenType.KEYWORD and token.value in TYPE_KEYWORDS:
+            return self._parse_declaration()
+        if (
+            token.type is TokenType.IDENT
+            and self.peek(1).type is TokenType.IDENT
+            or (token.type is TokenType.IDENT and self.peek(1).value == "*" and self.peek(2).type is TokenType.IDENT)
+        ):
+            # ``passwd *pw = ...`` -- declaration with a typedef'd struct type.
+            return self._parse_declaration()
+        return self._parse_assignment_or_expression()
+
+    def _parse_declaration(self) -> Declaration:
+        ctype, pointer, line = self._parse_type()
+        name = self.expect_ident().value
+        init = None
+        if self.accept("="):
+            init = self.parse_expression()
+        self.expect(";")
+        return Declaration(line=line, ctype=ctype, name=name, init=init, pointer=pointer)
+
+    def _parse_if(self) -> If:
+        token = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        then_body = self._parse_body()
+        else_body: list[Stmt] = []
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_body()
+        return If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> While:
+        token = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expression()
+        self.expect(")")
+        body = self._parse_body()
+        return While(line=token.line, cond=cond, body=body)
+
+    def _parse_return(self) -> Return:
+        token = self.expect("return")
+        value = None
+        if not self.check(";"):
+            value = self.parse_expression()
+        self.expect(";")
+        return Return(line=token.line, value=value)
+
+    def _parse_assignment_or_expression(self) -> Stmt:
+        line = self.peek().line
+        expr = self.parse_expression()
+        if self.accept("="):
+            value = self.parse_expression()
+            self.expect(";")
+            if not isinstance(expr, (Identifier, FieldAccess)):
+                raise ParseError("invalid assignment target", self.peek())
+            return Assignment(line=line, target=expr, value=value)
+        self.expect(";")
+        return ExprStmt(line=line, expr=expr)
+
+    # -- expressions (precedence climbing) ----------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        """Parse an expression (public entry point used by tests)."""
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.check("||"):
+            token = self.advance()
+            right = self._parse_and()
+            left = Binary(line=token.line, op="||", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self.check("&&"):
+            token = self.advance()
+            right = self._parse_equality()
+            left = Binary(line=token.line, op="&&", left=left, right=right)
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_relational()
+        while self.check("==") or self.check("!="):
+            token = self.advance()
+            right = self._parse_relational()
+            left = Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_relational(self) -> Expr:
+        left = self._parse_additive()
+        while self.check("<") or self.check("<=") or self.check(">") or self.check(">="):
+            token = self.advance()
+            right = self._parse_additive()
+            left = Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_unary()
+        while self.check("+") or self.check("-"):
+            token = self.advance()
+            right = self._parse_unary()
+            left = Binary(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.check("!"):
+            token = self.advance()
+            operand = self._parse_unary()
+            return Unary(line=token.line, op="!", operand=operand)
+        if self.check("-"):
+            token = self.advance()
+            operand = self._parse_unary()
+            return Unary(line=token.line, op="-", operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.check("("):
+                if not isinstance(expr, Identifier):
+                    raise ParseError("only simple function calls are supported", self.peek())
+                self.advance()
+                args: list[Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = Call(line=expr.line, func=expr.name, args=args)
+            elif self.check("->") or self.check("."):
+                token = self.advance()
+                field = self.expect_ident().value
+                expr = FieldAccess(
+                    line=token.line, base=expr, field=field, arrow=token.value == "->"
+                )
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return IntLiteral(line=token.line, value=int(token.value, 0), original_text=token.value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return StringLiteral(line=token.line, text=token.value)
+        if token.type is TokenType.CHAR:
+            self.advance()
+            return StringLiteral(line=token.line, text=token.value)
+        if token.value == "NULL":
+            self.advance()
+            return NullLiteral(line=token.line)
+        if token.value in ("true", "false"):
+            self.advance()
+            return BoolLiteral(line=token.line, value=token.value == "true")
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return Identifier(line=token.line, name=token.value)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse_source(source: str) -> TranslationUnit:
+    """Tokenise and parse *source* into a :class:`TranslationUnit`."""
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.uid import UIDVariation
+from repro.kernel.host import build_standard_host
+from repro.kernel.libc import Libc
+
+
+@pytest.fixture
+def kernel():
+    """A freshly built standard host kernel."""
+    return build_standard_host()
+
+
+@pytest.fixture
+def libc():
+    """A libc helper instance."""
+    return Libc()
+
+
+@pytest.fixture
+def uid_variation():
+    """The paper's UID variation (XOR 0x7FFFFFFF)."""
+    return UIDVariation()
+
+
+@pytest.fixture
+def address_partitioning():
+    """The address-space partitioning variation."""
+    return AddressPartitioning()

@@ -1,0 +1,262 @@
+"""Tests for the mini-httpd: config, HTTP handling, the server lifecycle and WebBench."""
+
+import pytest
+
+from repro.apps.clients.webbench import (
+    DEFAULT_STATIC_MIX,
+    WebBenchWorkload,
+    drive_nvariant,
+    drive_standalone,
+)
+from repro.apps.httpd.config import ServerConfig, parse_config
+from repro.apps.httpd.http import (
+    HttpParseError,
+    error_response,
+    file_response,
+    format_request,
+    parse_request,
+    parse_response,
+)
+from repro.apps.httpd.server import MiniHttpd
+from repro.apps.httpd.vulnerable import (
+    ANNOTATION_BUFFER_SIZE,
+    BANNER_TEXT,
+    build_server_state,
+    copy_annotation_header,
+    read_banner,
+)
+from repro.core.nvariant import UIDCodec
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.uid import UIDVariation
+from repro.kernel.host import DEFAULT_HTTPD_CONF, HTTP_PORT, build_standard_host
+from repro.kernel.libc import Libc
+from repro.kernel.scheduler import ProgramRunner
+from repro.memory.address_space import AddressSpace
+
+
+class TestConfig:
+    def test_parse_default_config(self):
+        config = parse_config(DEFAULT_HTTPD_CONF)
+        assert config.listen_port == 80
+        assert config.user == "www-data"
+        assert config.document_root == "/var/www/html"
+
+    def test_unknown_directives_ignored(self):
+        config = parse_config("Listen 8080\nFancyModule on\n")
+        assert config.listen_port == 8080
+
+    def test_comments_and_blanks_ignored(self):
+        config = parse_config("# comment\n\nUser alice\n")
+        assert config.user == "alice"
+
+    def test_malformed_directive_rejected(self):
+        with pytest.raises(ValueError):
+            parse_config("Listen\n")
+
+    def test_bad_port_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_config("Listen notaport\n")
+
+    def test_validation_rejects_relative_docroot(self):
+        config = ServerConfig(document_root="www")
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestHttpMessages:
+    def test_parse_simple_get(self):
+        request = parse_request(b"GET /index.html HTTP/1.0\r\nHost: h\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/index.html"
+        assert request.header("host") == "h"
+
+    def test_header_lookup_is_case_insensitive(self):
+        request = parse_request(b"GET / HTTP/1.0\r\nX-Annotation: abc\r\n\r\n")
+        assert request.header("x-annotation") == "abc"
+        assert request.header("X-ANNOTATION") == "abc"
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(HttpParseError):
+            parse_request(b"GARBAGE\r\n\r\n")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(HttpParseError):
+            parse_request(b"GET index.html HTTP/1.0\r\n\r\n")
+
+    def test_response_serialisation_includes_content_length(self):
+        response = file_response(b"hello", "/index.html")
+        raw = response.to_bytes()
+        assert b"Content-Length: 5" in raw
+        assert raw.endswith(b"hello")
+
+    def test_error_response_has_reason(self):
+        assert b"404 Not Found" in error_response(404).to_bytes()
+
+    def test_format_and_parse_roundtrip(self):
+        raw = format_request("/a.html", headers={"X-Test": "1"})
+        request = parse_request(raw)
+        assert request.path == "/a.html" and request.header("x-test") == "1"
+
+    def test_parse_response_splits_status_and_body(self):
+        status, headers, body = parse_response(error_response(403, "nope").to_bytes())
+        assert status == 403
+        assert headers["content-type"] == "text/html"
+        assert b"nope" in body
+
+
+class TestVulnerableState:
+    def test_layout_places_uid_after_buffer(self):
+        layout = build_server_state(AddressSpace(), worker_uid=33, worker_gid=33, admin_uid=0)
+        reach = layout.overflow_reach()
+        assert reach["worker_uid"][0] == ANNOTATION_BUFFER_SIZE
+        assert reach["banner_ptr"][0] > reach["admin_uid"][0]
+
+    def test_in_bounds_copy_leaves_uid_intact(self):
+        layout = build_server_state(AddressSpace(), worker_uid=33, worker_gid=33, admin_uid=0)
+        copy_annotation_header(layout, "short note")
+        assert layout.worker_uid.get() == 33
+
+    def test_overflow_overwrites_uid(self):
+        layout = build_server_state(AddressSpace(), worker_uid=33, worker_gid=33, admin_uid=0)
+        payload = "A" * ANNOTATION_BUFFER_SIZE + "\x00\x00\x00\x00"
+        copy_annotation_header(layout, payload)
+        assert layout.worker_uid.get() == 0
+
+    def test_banner_readable_through_pointer(self):
+        space = AddressSpace(partition=1)
+        layout = build_server_state(space, worker_uid=33, worker_gid=33, admin_uid=0)
+        assert read_banner(space, layout) == BANNER_TEXT
+
+
+def run_standalone_server(kernel, *, transformed=False, max_requests=None):
+    process = kernel.spawn_process("httpd")
+    server = MiniHttpd(
+        Libc(), UIDCodec.identity(), process.address_space,
+        transformed=transformed, max_requests=max_requests,
+    )
+    result = ProgramRunner(kernel).run(process, server.run())
+    return server, result
+
+
+class TestStandaloneServer:
+    def test_serves_static_files(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/index.html"))
+        kernel.client_connect(HTTP_PORT, format_request("/docs/faq.html"))
+        server, result = run_standalone_server(kernel, max_requests=2)
+        assert result.exited_normally
+        statuses = [parse_response(c.response_bytes())[0] for c in kernel.network.connections]
+        assert statuses == [200, 200]
+
+    def test_404_for_missing_file_and_error_log_written(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/missing.html"))
+        run_standalone_server(kernel, max_requests=1)
+        status, _, _ = parse_response(kernel.network.connections[0].response_bytes())
+        assert status == 404
+        assert b"status 404" in kernel.fs.read_file("/var/log/httpd/error_log")
+
+    def test_privileges_dropped_during_static_serving(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/index.html"))
+        server, _ = run_standalone_server(kernel, max_requests=1)
+        assert server.report.served[0].euid_during_serve == 33
+
+    def test_direct_shadow_request_denied_when_privileges_dropped(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/../../../etc/shadow"))
+        run_standalone_server(kernel, max_requests=1)
+        status, _, _ = parse_response(kernel.network.connections[0].response_bytes())
+        assert status == 403
+
+    def test_admin_endpoint_requires_token(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/admin/status"))
+        kernel.client_connect(
+            HTTP_PORT, format_request("/admin/status", headers={"X-Admin-Token": "letmein"})
+        )
+        run_standalone_server(kernel, max_requests=2)
+        responses = [parse_response(c.response_bytes()) for c in kernel.network.connections]
+        assert responses[0][0] == 403
+        assert responses[1][0] == 200
+        assert b"top secret" in responses[1][2]
+
+    def test_bad_request_and_unsupported_method(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, b"NONSENSE\r\n\r\n")
+        kernel.client_connect(HTTP_PORT, format_request("/index.html", method="DELETE"))
+        run_standalone_server(kernel, max_requests=2)
+        statuses = [parse_response(c.response_bytes())[0] for c in kernel.network.connections]
+        assert statuses == [400, 405]
+
+    def test_head_request_returns_empty_body(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/index.html", method="HEAD"))
+        run_standalone_server(kernel, max_requests=1)
+        status, _, body = parse_response(kernel.network.connections[0].response_bytes())
+        assert status == 200 and body == b""
+
+    def test_access_log_records_every_request(self):
+        kernel = build_standard_host()
+        for path in ("/index.html", "/news.html", "/missing.html"):
+            kernel.client_connect(HTTP_PORT, format_request(path))
+        run_standalone_server(kernel, max_requests=3)
+        log = kernel.fs.read_file("/var/log/httpd/access_log").decode()
+        assert log.count("\n") == 3 and "/news.html" in log
+
+    def test_server_exits_when_queue_is_empty(self):
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, format_request("/index.html"))
+        server, result = run_standalone_server(kernel)
+        assert result.exited_normally
+        assert server.report.requests_handled == 1
+
+
+class TestWebBenchWorkload:
+    def test_mix_expansion_respects_weights_and_length(self):
+        workload = WebBenchWorkload(total_requests=25)
+        paths = workload.request_paths()
+        assert len(paths) == 25
+        assert paths.count("/index.html") >= paths.count("/downloads/archive.bin")
+
+    def test_request_bytes_are_valid_http(self):
+        workload = WebBenchWorkload(total_requests=3)
+        for raw in workload.request_bytes():
+            assert parse_request(raw).method == "GET"
+
+    def test_concurrent_clients(self):
+        workload = WebBenchWorkload(client_engines=5, client_machines=3)
+        assert workload.concurrent_clients == 15
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WebBenchWorkload(total_requests=1, mix=()).request_paths()
+
+    def test_standalone_measurement_counts(self):
+        measurement = drive_standalone(WebBenchWorkload(total_requests=8), transformed=False)
+        assert measurement.completed_ok
+        assert measurement.requests_completed == 8
+        assert measurement.status_counts == {200: 8}
+        assert measurement.num_variants == 1
+        assert measurement.per_request_syscalls() > 0
+
+    def test_transformed_standalone_adds_detection_calls(self):
+        plain = drive_standalone(WebBenchWorkload(total_requests=6), transformed=False)
+        transformed = drive_standalone(WebBenchWorkload(total_requests=6), transformed=True)
+        assert transformed.detection_calls > plain.detection_calls
+
+    def test_nvariant_measurement_has_wrapper_stats(self):
+        measurement, result = drive_nvariant(
+            WebBenchWorkload(total_requests=6),
+            [AddressPartitioning(), UIDVariation()],
+            transformed=True,
+        )
+        assert measurement.completed_ok
+        assert result.completed_normally
+        assert measurement.replicated_calls > 0
+        assert measurement.per_variant_calls > 0
+        assert measurement.num_variants == 2
+
+    def test_default_mix_paths_exist_on_standard_host(self, kernel):
+        for entry in DEFAULT_STATIC_MIX:
+            assert kernel.fs.exists("/var/www/html" + entry.path)

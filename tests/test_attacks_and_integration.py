@@ -1,0 +1,168 @@
+"""Tests for the attack library and end-to-end attack/defence integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.code_injection import run_code_injection_tagged, run_code_injection_untagged
+from repro.attacks.memory_attacks import (
+    run_address_attack_nvariant,
+    run_address_attack_single,
+    standard_address_attacks,
+)
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind, classify
+from repro.attacks.payloads import (
+    OverflowSpec,
+    benign_request,
+    traversal_path,
+    uid_overwrite_payload,
+)
+from repro.attacks.runner import CampaignConfiguration, run_uid_campaign
+from repro.attacks.uid_attacks import (
+    UIDAttack,
+    run_remote_attack_nvariant,
+    run_remote_attack_single,
+    run_uid_attack,
+    standard_uid_attacks,
+)
+from repro.apps.httpd.http import parse_request
+from repro.apps.httpd.vulnerable import ANNOTATION_BUFFER_SIZE, VULNERABLE_HEADER
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.uid import UIDVariation
+from repro.memory.corruption import CorruptionSpec
+
+
+class TestPayloads:
+    def test_traversal_path_escapes_docroot(self):
+        assert traversal_path("/etc/shadow").endswith("etc/shadow")
+        assert traversal_path().count("../") == 3
+
+    def test_overflow_spec_fills_buffer_then_writes_word(self):
+        value = OverflowSpec(fields=(0x41424344,)).header_value()
+        assert len(value) == ANNOTATION_BUFFER_SIZE + 4
+        assert value[:ANNOTATION_BUFFER_SIZE] == "A" * ANNOTATION_BUFFER_SIZE
+        assert value[ANNOTATION_BUFFER_SIZE:] == "DCBA"  # little endian
+
+    def test_partial_bytes_trims_last_word(self):
+        value = OverflowSpec(fields=(0,), partial_bytes=2).header_value()
+        assert len(value) == ANNOTATION_BUFFER_SIZE + 2
+
+    def test_overflow_spec_validation(self):
+        with pytest.raises(ValueError):
+            OverflowSpec(fields=()).header_value()
+        with pytest.raises(ValueError):
+            OverflowSpec(fields=(0,), partial_bytes=9).header_value()
+
+    def test_uid_overwrite_payload_is_parseable_http(self):
+        request = parse_request(uid_overwrite_payload(0))
+        assert request.header(VULNERABLE_HEADER)
+        assert ".." in request.path
+
+    def test_benign_request_rejects_oversized_annotation(self):
+        with pytest.raises(ValueError):
+            benign_request(annotation="A" * 200)
+
+    def test_uid_attack_requires_exactly_one_mechanism(self):
+        with pytest.raises(ValueError):
+            UIDAttack(name="x", description="bad", payload=b"a", corruption=CorruptionSpec("bit-flip", 0))
+        with pytest.raises(ValueError):
+            UIDAttack(name="x", description="bad")
+
+
+class TestOutcomeClassification:
+    def test_classify_matrix(self):
+        assert classify(goal_reached=True, detected=False) is OutcomeKind.UNDETECTED_COMPROMISE
+        assert classify(goal_reached=True, detected=True) is OutcomeKind.DETECTED
+        assert classify(goal_reached=False, detected=False) is OutcomeKind.NO_EFFECT
+        assert classify(goal_reached=False, detected=False, crashed=True) is OutcomeKind.CRASHED
+
+    def test_security_failure_flag(self):
+        outcome = AttackOutcome(
+            attack="a", configuration="c", kind=OutcomeKind.UNDETECTED_COMPROMISE,
+            goal_reached=True, detected=False,
+        )
+        assert outcome.is_security_failure
+        assert "undetected" in outcome.describe()
+
+
+class TestUIDAttackEndToEnd:
+    def test_root_overwrite_succeeds_against_single_process(self):
+        attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
+        outcome = run_remote_attack_single(attack)
+        assert outcome.kind is OutcomeKind.UNDETECTED_COMPROMISE
+        assert outcome.goal_reached
+
+    def test_root_overwrite_detected_by_uid_variation(self):
+        attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
+        outcome = run_remote_attack_nvariant(attack, [UIDVariation()])
+        assert outcome.kind is OutcomeKind.DETECTED
+        assert not outcome.goal_reached
+
+    def test_partial_overwrites_detected_by_uid_variation(self):
+        for name in ("partial-1-byte-overwrite", "partial-2-byte-overwrite", "partial-3-byte-overwrite"):
+            attack = next(a for a in standard_uid_attacks() if a.name == name)
+            outcome = run_uid_attack(attack, redundant=True)
+            assert outcome.kind is OutcomeKind.DETECTED, name
+
+    def test_bit_flips_are_outside_the_guarantee(self):
+        for name in ("low-bit-flip", "high-bit-flip"):
+            attack = next(a for a in standard_uid_attacks() if a.name == name)
+            outcome = run_uid_attack(attack, redundant=True)
+            assert outcome.kind is not OutcomeKind.DETECTED, name
+
+    def test_address_partitioning_does_not_stop_uid_attack(self):
+        attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
+        outcome = run_remote_attack_nvariant(
+            attack, [AddressPartitioning()], transformed=False, configuration="2-variant-address"
+        )
+        assert outcome.kind is OutcomeKind.UNDETECTED_COMPROMISE
+
+    def test_masquerade_attack_reads_victim_file_when_undetected(self):
+        attack = next(a for a in standard_uid_attacks() if a.name == "full-word-user-overwrite")
+        single = run_remote_attack_single(attack)
+        assert single.goal_reached
+        protected = run_remote_attack_nvariant(attack, [UIDVariation()])
+        assert protected.detected
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=0x7FFFFFFF))
+    def test_any_injected_complete_uid_is_detected(self, injected_uid):
+        attack = UIDAttack(
+            name=f"inject-{injected_uid}",
+            description="property-based complete-value injection",
+            payload=uid_overwrite_payload(injected_uid),
+        )
+        outcome = run_remote_attack_nvariant(attack, [UIDVariation()])
+        assert outcome.detected
+
+
+class TestAddressAndCodeInjection:
+    def test_address_attack_matrix(self):
+        for attack in standard_address_attacks():
+            single = run_address_attack_single(attack)
+            redundant = run_address_attack_nvariant(attack)
+            assert redundant.detected
+            assert not redundant.goal_reached
+            assert single.detected is False
+
+    def test_code_injection_untagged_vs_tagged(self):
+        baseline = run_code_injection_untagged()
+        protected = run_code_injection_tagged()
+        assert baseline.kind is OutcomeKind.UNDETECTED_COMPROMISE
+        assert protected.kind is OutcomeKind.DETECTED
+
+
+class TestCampaignRunner:
+    def test_campaign_report_summaries(self):
+        configurations = (
+            CampaignConfiguration(name="single-process", redundant=False, transformed=False),
+            CampaignConfiguration(
+                name="2-variant-uid", redundant=True, variations=(UIDVariation,), transformed=True
+            ),
+        )
+        attacks = [a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"]
+        report = run_uid_campaign(attacks, configurations)
+        assert len(report.outcomes) == 2
+        assert report.detection_rate("2-variant-uid") == 1.0
+        assert report.detection_rate("single-process") == 0.0
+        assert report.matrix()["full-word-root-overwrite"]["2-variant-uid"] == "detected"
+        assert "undetected compromises" in report.describe()
