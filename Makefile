@@ -1,0 +1,32 @@
+# Developer/CI entry points.
+#
+#   make test        -- the tier-1 verification suite (tests/ only)
+#   make bench       -- every paper-table/figure benchmark, with timing
+#   make bench-smoke -- every benchmark once, no timing (fast CI exercise)
+#   make examples    -- run each example script end to end
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+BENCHES := $(wildcard benchmarks/bench_*.py)
+EXAMPLES := $(wildcard examples/*.py)
+
+.PHONY: test bench bench-smoke examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-only -s
+
+# --benchmark-disable runs every benchmarked function exactly once as a plain
+# test, so CI exercises each benchmark's assertions without paying for timing
+# rounds.
+bench-smoke:
+	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-disable
+
+examples:
+	@set -e; for example in $(EXAMPLES); do \
+		echo "== $$example"; \
+		$(PYTHON) $$example > /dev/null; \
+	done; echo "all examples ok"

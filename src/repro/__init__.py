@@ -9,6 +9,8 @@ The package is organised as the paper's system is layered:
 * :mod:`repro.isa` -- miniature instruction set for the tagging variation.
 * :mod:`repro.core` -- the N-variant framework with data diversity:
   reexpression functions, variations, lockstep engine, monitor, wrappers.
+* :mod:`repro.engine` -- the concurrent multi-session execution engine:
+  resumable lockstep sessions and the cooperative round-robin scheduler.
 * :mod:`repro.transform` -- mini-C source-to-source UID transformation
   (Section 3.3 / Section 4 change accounting).
 * :mod:`repro.apps` -- the mini Apache case-study server and the

@@ -12,19 +12,24 @@ Because the simulation is single-threaded, "client engines" do not run
 concurrently; instead their count parameterises the performance model's
 saturation calculation (Little's law over the measured per-request service
 demand), which is where the unsaturated/saturated distinction of Table 3 is
-made.
+made.  True concurrency enters through :func:`drive_engine`, which shards the
+workload over many N-variant server sessions interleaved by the cooperative
+multi-session engine, and through keep-alive pipelining
+(``requests_per_connection``) paired with the server's connection
+multiplexing.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.apps.httpd.http import format_request, parse_response
+from repro.apps.httpd.http import format_request, split_responses
 from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
 from repro.core.nvariant import NVariantResult, NVariantSystem, UIDCodec
 from repro.core.variations.base import Variation
+from repro.engine import EngineResult, MultiSessionEngine, NVariantSession
 from repro.kernel.host import DOCROOT, HTTP_PORT, build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
@@ -57,12 +62,19 @@ DEFAULT_STATIC_MIX: tuple[RequestMixEntry, ...] = (
 
 @dataclasses.dataclass
 class WebBenchWorkload:
-    """A deterministic request sequence in the WebBench style."""
+    """A deterministic request sequence in the WebBench style.
+
+    ``requests_per_connection`` models keep-alive clients: with the default
+    of 1 every request travels on its own connection (the original WebBench
+    behaviour); larger values pipeline that many requests per connection, so
+    ``drive_*`` callers can pair the workload with a multiplexing server.
+    """
 
     total_requests: int = 50
     mix: Sequence[RequestMixEntry] = DEFAULT_STATIC_MIX
     client_engines: int = 1
     client_machines: int = 1
+    requests_per_connection: int = 1
     extra_headers: dict[str, str] = dataclasses.field(default_factory=dict)
 
     def request_paths(self) -> list[str]:
@@ -79,6 +91,28 @@ class WebBenchWorkload:
         """The raw request payloads, in order."""
         return [
             format_request(path, headers=self.extra_headers) for path in self.request_paths()
+        ]
+
+    def connection_payloads(self) -> list[bytes]:
+        """Request bytes grouped into per-connection keep-alive pipelines."""
+        if self.requests_per_connection < 1:
+            raise ValueError("requests_per_connection must be at least 1")
+        payloads = self.request_bytes()
+        size = self.requests_per_connection
+        return [b"".join(payloads[i : i + size]) for i in range(0, len(payloads), size)]
+
+    def split(self, shards: int) -> list["WebBenchWorkload"]:
+        """Divide the workload across *shards* independent server replicas.
+
+        The request total is dealt out as evenly as possible (earlier shards
+        receive the remainder); every other parameter is inherited.
+        """
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        base, remainder = divmod(self.total_requests, shards)
+        return [
+            dataclasses.replace(self, total_requests=base + (1 if i < remainder else 0))
+            for i in range(shards)
         ]
 
     @property
@@ -132,7 +166,12 @@ class WorkloadMeasurement:
 
 
 def _collect_responses(kernel: SimulatedKernel) -> tuple[int, dict[int, int], int]:
-    """Parse every connection's response; returns (completed, statuses, bytes)."""
+    """Parse every connection's responses; returns (completed, statuses, bytes).
+
+    Keep-alive connections carry one Content-Length-framed response per
+    pipelined request, so responses are counted individually rather than per
+    connection.
+    """
     completed = 0
     statuses: dict[int, int] = {}
     body_bytes = 0
@@ -140,10 +179,10 @@ def _collect_responses(kernel: SimulatedKernel) -> tuple[int, dict[int, int], in
         raw = connection.response_bytes()
         if not raw:
             continue
-        status, _, body = parse_response(raw)
-        completed += 1
-        statuses[status] = statuses.get(status, 0) + 1
-        body_bytes += len(body)
+        for status, _, body in split_responses(raw):
+            completed += 1
+            statuses[status] = statuses.get(status, 0) + 1
+            body_bytes += len(body)
     return completed, statuses, body_bytes
 
 
@@ -151,6 +190,7 @@ def drive_standalone(
     workload: WebBenchWorkload,
     *,
     transformed: bool = False,
+    multiplex: int = 1,
     kernel: Optional[SimulatedKernel] = None,
     configuration: str = "standalone",
 ) -> WorkloadMeasurement:
@@ -161,7 +201,7 @@ def drive_standalone(
     Configuration 2 (the UID-transformed server running as a single process).
     """
     kernel = kernel if kernel is not None else build_standard_host()
-    for payload in workload.request_bytes():
+    for payload in workload.connection_payloads():
         kernel.client_connect(HTTP_PORT, payload)
 
     process = kernel.spawn_process("httpd")
@@ -171,6 +211,7 @@ def drive_standalone(
         process.address_space,
         transformed=transformed,
         max_requests=workload.total_requests,
+        multiplex=multiplex,
     )
     runner = ProgramRunner(kernel)
     run_result = runner.run(process, server.run())
@@ -206,6 +247,7 @@ def drive_nvariant(
     *,
     transformed: bool = True,
     num_variants: int = 2,
+    multiplex: int = 1,
     kernel: Optional[SimulatedKernel] = None,
     configuration: str = "nvariant",
 ) -> tuple[WorkloadMeasurement, NVariantResult]:
@@ -216,12 +258,15 @@ def drive_nvariant(
     ``transformed=True`` reproduces Configuration 4.
     """
     kernel = kernel if kernel is not None else build_standard_host()
-    for payload in workload.request_bytes():
+    for payload in workload.connection_payloads():
         kernel.client_connect(HTTP_PORT, payload)
 
     servers: list[MiniHttpd] = []
     factory = make_httpd_factory(
-        transformed=transformed, max_requests=workload.total_requests, servers=servers
+        transformed=transformed,
+        max_requests=workload.total_requests,
+        multiplex=multiplex,
+        servers=servers,
     )
     system = NVariantSystem(
         kernel, factory, list(variations), num_variants=num_variants, name="httpd"
@@ -252,3 +297,115 @@ def drive_nvariant(
         concurrent_clients=workload.concurrent_clients,
     )
     return measurement, result
+
+
+# ---------------------------------------------------------------------------
+# Concurrent multi-session driving (the engine path)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class EngineWorkloadMeasurement:
+    """Aggregate measurement of one concurrent multi-session run.
+
+    Sessions model independent N-variant server replicas progressing in
+    parallel, so the engine's elapsed virtual time is the maximum over the
+    sessions' kernel-clock consumption while the sequential reference is
+    their sum -- the ratio between the two is the engine's concurrency win.
+    """
+
+    configuration: str
+    num_sessions: int
+    requests_sent: int
+    requests_completed: int
+    status_counts: dict[int, int]
+    alarms: int
+    virtual_elapsed: int
+    virtual_elapsed_sequential: int
+    engine_result: EngineResult
+
+    @property
+    def completed_ok(self) -> bool:
+        """True when every request produced a response and no alarm fired."""
+        return self.requests_completed == self.requests_sent and self.alarms == 0
+
+    def requests_per_kilotick(self) -> float:
+        """Aggregate throughput in requests per 1000 virtual clock ticks."""
+        if not self.virtual_elapsed:
+            return 0.0
+        return self.requests_completed * 1000.0 / self.virtual_elapsed
+
+    def sequential_requests_per_kilotick(self) -> float:
+        """What the same workload sustains run back-to-back on one replica."""
+        if not self.virtual_elapsed_sequential:
+            return 0.0
+        return self.requests_completed * 1000.0 / self.virtual_elapsed_sequential
+
+    def speedup(self) -> float:
+        """Concurrent over sequential aggregate throughput."""
+        sequential = self.sequential_requests_per_kilotick()
+        return self.requests_per_kilotick() / sequential if sequential else 0.0
+
+
+def drive_engine(
+    workload: WebBenchWorkload,
+    variations_factory: Callable[[], Sequence[Variation]],
+    *,
+    num_sessions: int,
+    transformed: bool = True,
+    num_variants: int = 2,
+    multiplex: int = 1,
+    configuration: str = "engine",
+) -> EngineWorkloadMeasurement:
+    """Split the workload over *num_sessions* concurrent N-variant replicas.
+
+    Each session runs the full N-variant mini-httpd on its own simulated host
+    (a sharded fleet behind a load balancer), and the cooperative scheduler
+    interleaves their lockstep rounds.  ``variations_factory`` builds a fresh
+    variation list per session so no per-host state is shared.
+    """
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be at least 1")
+    shards = workload.split(num_sessions)
+    kernels: list[SimulatedKernel] = []
+    sessions: list[NVariantSession] = []
+    for index, shard in enumerate(shards):
+        kernel = build_standard_host()
+        for payload in shard.connection_payloads():
+            kernel.client_connect(HTTP_PORT, payload)
+        kernels.append(kernel)
+        factory = make_httpd_factory(
+            transformed=transformed, max_requests=shard.total_requests, multiplex=multiplex
+        )
+        sessions.append(
+            NVariantSession(
+                kernel,
+                factory,
+                list(variations_factory()),
+                num_variants=num_variants,
+                name=f"{configuration}-s{index}",
+            )
+        )
+
+    engine = MultiSessionEngine(sessions, name=configuration)
+    engine_result = engine.run()
+
+    completed = 0
+    statuses: dict[int, int] = {}
+    for kernel in kernels:
+        shard_completed, shard_statuses, _ = _collect_responses(kernel)
+        completed += shard_completed
+        for status, count in shard_statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+
+    return EngineWorkloadMeasurement(
+        configuration=configuration,
+        num_sessions=num_sessions,
+        requests_sent=workload.total_requests,
+        requests_completed=completed,
+        status_counts=statuses,
+        alarms=engine_result.total_alarms,
+        virtual_elapsed=engine_result.virtual_elapsed,
+        virtual_elapsed_sequential=engine_result.virtual_elapsed_sequential,
+        engine_result=engine_result,
+    )

@@ -135,6 +135,35 @@ def format_request(
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
+def split_requests(raw: bytes) -> list[bytes]:
+    """Split a keep-alive connection's buffer into its pipelined requests.
+
+    GET/HEAD requests carry no body, so the blank line terminating the header
+    block frames each request.  A trailing fragment without the terminator
+    (a truncated pipeline, or garbage input) is passed through as-is -- the
+    terminator is never synthesised for it -- so the parser, not the framing,
+    decides whether it is servable.
+    """
+    delimiter = b"\r\n\r\n"
+    parts = raw.split(delimiter)
+    requests = [part + delimiter for part in parts[:-1] if part]
+    if parts[-1]:
+        requests.append(parts[-1])
+    return requests if requests else [raw]
+
+
+def split_responses(raw: bytes) -> list[tuple[int, dict[str, str], bytes]]:
+    """Split a connection's outbound bytes into its Content-Length-framed responses."""
+    responses = []
+    remaining = raw
+    while remaining:
+        status, headers, rest = parse_response(remaining)
+        length = int(headers.get("content-length", len(rest)))
+        responses.append((status, headers, rest[:length]))
+        remaining = rest[length:]
+    return responses
+
+
 def parse_response(raw: bytes) -> tuple[int, dict[str, str], bytes]:
     """Client-side helper: split a raw response into status, headers, body."""
     if b"\r\n\r\n" in raw:

@@ -37,6 +37,7 @@ from repro.apps.httpd.http import (
     error_response,
     file_response,
     parse_request,
+    split_requests,
 )
 from repro.apps.httpd.vulnerable import (
     ServerStateLayout,
@@ -103,8 +104,15 @@ class MiniHttpd:
     transformed:
         Selects the original or UID-transformed build (see module docstring).
     max_requests:
-        Stop after this many accepted connections (``None`` = serve until the
-        accept queue is empty).
+        Stop after this many served requests (``None`` = serve until the
+        accept queue is empty).  Keep-alive connections may carry several
+        requests each, so this is a request budget, not a connection count.
+    multiplex:
+        Maximum number of connections served concurrently.  With the default
+        of 1 the server is the original serial accept-serve-close loop; with
+        ``M > 1`` it accepts up to M connections and round-robins one request
+        from each per turn, which is how one server instance sustains M
+        concurrent keep-alive clients.
     config_path:
         Path of the configuration file on the simulated host.
     """
@@ -117,13 +125,17 @@ class MiniHttpd:
         *,
         transformed: bool = False,
         max_requests: Optional[int] = None,
+        multiplex: int = 1,
         config_path: str = HTTPD_CONF,
     ):
+        if multiplex < 1:
+            raise ValueError("multiplex must be at least 1")
         self.libc = libc
         self.codec = uid_codec if transformed else UIDCodec.identity()
         self.address_space = address_space
         self.transformed = transformed
         self.max_requests = max_requests
+        self.multiplex = multiplex
         self.config_path = config_path
         self.config: Optional[ServerConfig] = None
         self.layout: Optional[ServerStateLayout] = None
@@ -353,41 +365,84 @@ class MiniHttpd:
 
     # -- the program ----------------------------------------------------------------------------
 
+    def _serve_one(self, conn_fd: int, raw_request: bytes, error_fd: int, access_fd: int):
+        """Handle one request and send its response on *conn_fd*."""
+        libc = self.libc
+        outcome = yield from self._handle_request(raw_request)
+        if len(outcome) == 3:
+            response, path, euid_during = outcome
+        else:
+            response, path = outcome
+            euid_during = (yield from libc.geteuid()).value
+
+        yield from self._log(error_fd, access_fd, path, response)
+        yield from libc.send(conn_fd, response.to_bytes())
+
+        self.report.requests_handled += 1
+        self.report.served.append(
+            ServedRequest(
+                path=path,
+                status=response.status,
+                bytes_sent=len(response.body),
+                euid_during_serve=euid_during,
+            )
+        )
+
     def run(self) -> ServerProgram:
-        """The server program: startup, request loop, shutdown."""
+        """The server program: startup, multiplexed request loop, shutdown.
+
+        Up to ``multiplex`` connections are held open at once; each accepted
+        connection's buffer is split into its pipelined keep-alive requests
+        and the loop serves one request per live connection per turn, so no
+        single slow client monopolises the server.  ``multiplex=1`` degrades
+        to the original serial accept-serve-close loop.
+        """
         libc = self.libc
         listen_fd, error_fd, access_fd = yield from self._startup()
 
-        handled = 0
-        while self.max_requests is None or handled < self.max_requests:
-            accepted = yield from libc.accept(listen_fd)
-            if not accepted.ok:
+        #: (conn_fd, unserved pipelined requests) per live connection.
+        active: list[tuple[int, list[bytes]]] = []
+        #: The simulated accept queue never refills once drained, so a failed
+        #: accept permanently closes admission instead of being re-polled on
+        #: every scheduling turn.
+        accepting = True
+
+        def budget_left() -> bool:
+            return self.max_requests is None or self.report.requests_handled < self.max_requests
+
+        while True:
+            while accepting and budget_left() and len(active) < self.multiplex:
+                accepted = yield from libc.accept(listen_fd)
+                if not accepted.ok:
+                    accepting = False
+                    break
+                conn_fd = accepted.value
+                # Drain the connection: keep-alive pipelines may exceed one
+                # recv window, and the client has already half-closed.
+                chunks = []
+                while True:
+                    chunk = (yield from libc.recv(conn_fd, self.config.max_request_size + 4096)).value
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+                active.append((conn_fd, split_requests(b"".join(chunks))))
+            if not active or not budget_left():
                 break
-            conn_fd = accepted.value
-            raw = (yield from libc.recv(conn_fd, self.config.max_request_size + 4096)).value
 
-            outcome = yield from self._handle_request(raw)
-            if len(outcome) == 3:
-                response, path, euid_during = outcome
-            else:
-                response, path = outcome
-                euid_during = (yield from libc.geteuid()).value
+            for connection in list(active):
+                if not budget_left():
+                    break
+                conn_fd, pending = connection
+                yield from self._serve_one(conn_fd, pending.pop(0), error_fd, access_fd)
+                if not pending:
+                    yield from libc.shutdown(conn_fd)
+                    yield from libc.close(conn_fd)
+                    active.remove(connection)
 
-            yield from self._log(error_fd, access_fd, path, response)
-            yield from libc.send(conn_fd, response.to_bytes())
+        # Budget exhausted with connections still open: close them unserved.
+        for conn_fd, _ in active:
             yield from libc.shutdown(conn_fd)
             yield from libc.close(conn_fd)
-
-            handled += 1
-            self.report.requests_handled = handled
-            self.report.served.append(
-                ServedRequest(
-                    path=path,
-                    status=response.status,
-                    bytes_sent=len(response.body),
-                    euid_during_serve=euid_during,
-                )
-            )
 
         yield from libc.shutdown(listen_fd)
         yield from libc.close(listen_fd)
@@ -402,6 +457,7 @@ def build_httpd_program(
     *,
     transformed: bool = True,
     max_requests: Optional[int] = None,
+    multiplex: int = 1,
     config_path: str = HTTPD_CONF,
 ) -> ServerProgram:
     """Program factory for :func:`repro.core.nvariant.nvexec`.
@@ -416,6 +472,7 @@ def build_httpd_program(
         context.address_space,
         transformed=transformed,
         max_requests=max_requests,
+        multiplex=multiplex,
         config_path=config_path,
     )
     return server.run()
@@ -425,6 +482,7 @@ def make_httpd_factory(
     *,
     transformed: bool = True,
     max_requests: Optional[int] = None,
+    multiplex: int = 1,
     config_path: str = HTTPD_CONF,
     servers: Optional[list[MiniHttpd]] = None,
 ):
@@ -442,6 +500,7 @@ def make_httpd_factory(
             context.address_space,
             transformed=transformed,
             max_requests=max_requests,
+            multiplex=multiplex,
             config_path=config_path,
         )
         if servers is not None:

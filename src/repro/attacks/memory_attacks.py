@@ -98,16 +98,23 @@ def run_address_attack_nvariant(
     attack: AddressInjectionAttack,
     variations: Sequence[Variation] | None = None,
     *,
+    transformed: bool = False,
     configuration: str = "2-variant-address",
 ) -> AttackOutcome:
-    """Run the attack against an address-partitioned 2-variant system."""
+    """Run the attack against an N-variant configuration.
+
+    Defaults reproduce the address-partitioned 2-variant system of Figure 1;
+    pass ``transformed=True`` whenever the variation list contains the UID
+    variation, since the untransformed server diverges on benign traffic
+    under diversified UID representations.
+    """
     variations = list(variations) if variations is not None else [AddressPartitioning()]
     kernel = build_standard_host()
     kernel.client_connect(HTTP_PORT, benign_request())
     kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
     kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
 
-    factory = make_httpd_factory(transformed=False, max_requests=3)
+    factory = make_httpd_factory(transformed=transformed, max_requests=3)
     system = NVariantSystem(kernel, factory, variations, num_variants=2, name="httpd")
     result = system.run()
 

@@ -43,6 +43,16 @@ class MonitorStats:
     syscalls_compared: int = 0
     detection_calls_checked: int = 0
     alarms_raised: int = 0
+    fast_path_rounds: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (fresh accounting for a new run).
+
+        Structural on purpose: a counter added to the dataclass can never be
+        forgotten here and survive a reset.
+        """
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, 0)
 
 
 class Monitor:
@@ -51,6 +61,11 @@ class Monitor:
     def __init__(self) -> None:
         self.alarms: list[Alarm] = []
         self.stats = MonitorStats()
+
+    def reset(self) -> None:
+        """Forget recorded alarms and zero the stats counters."""
+        self.alarms.clear()
+        self.stats.reset()
 
     # -- outcome ------------------------------------------------------------
 
@@ -188,3 +203,79 @@ class Monitor:
                 lockstep_index=lockstep_index,
             )
         )
+
+
+class SyscallComparator:
+    """Per-session fast path for the lockstep point's comparison work.
+
+    Every lockstep round the engine must (a) canonicalize each variant's
+    request so representation differences don't trigger false alarms and
+    (b) inverse-reexpress each request's diversified arguments before the
+    kernel sees them.  Both rewrites touch only a small, statically known set
+    of system calls (for the UID variation: the setuid family, the cc_*
+    comparisons, and ``uid_value``), while the bulk of a web workload is
+    reads, writes, opens and socket calls that no variation rewrites.
+
+    The comparator precomputes the union of the variations' declared rewrite
+    footprints (:attr:`~repro.core.variations.base.Variation.canonical_syscalls`
+    and :attr:`~repro.core.variations.base.Variation.transform_syscalls`) so
+    those common rounds skip the per-variation hook walk entirely and fall
+    into one batched tuple comparison.  A variation that cannot declare its
+    footprint (``None``) disables the corresponding fast path, so correctness
+    never depends on the declaration being present -- only speed does.
+    """
+
+    def __init__(self, variations: "VariationStack", monitor: Monitor):
+        self.variations = variations
+        self.monitor = monitor
+        self._canonical_affected = variations.canonical_syscalls()
+        self._transform_affected = variations.transform_syscalls()
+
+    def check_round(
+        self,
+        requests: Sequence[SyscallRequest],
+        *,
+        lockstep_index: int | None = None,
+    ) -> Optional[Alarm]:
+        """Canonicalize-and-compare one lockstep round of raw requests.
+
+        Equivalent to canonicalizing every request through the variation
+        stack and calling :meth:`Monitor.check_syscalls`, but skips the
+        canonicalization walk for syscalls no variation rewrites.
+        """
+        first = requests[0]
+        affected = self._canonical_affected
+        if affected is not None and first.name not in affected:
+            name_uniform = all(r.name is first.name for r in requests[1:])
+            if name_uniform:
+                args = first.args
+                if all(r.args == args for r in requests[1:]):
+                    stats = self.monitor.stats
+                    stats.lockstep_points += 1
+                    stats.syscalls_compared += len(requests)
+                    stats.fast_path_rounds += 1
+                    if first.name in DETECTION_SYSCALLS:
+                        stats.detection_calls_checked += 1
+                    return None
+            # A divergence (or mixed names): fall through to the slow path so
+            # the alarm carries the same classification and rendering as ever.
+        canonical = [
+            self.variations.canonicalize_request(index, request)
+            for index, request in enumerate(requests)
+        ]
+        return self.monitor.check_syscalls(canonical, lockstep_index=lockstep_index)
+
+    def transform_round(self, requests: Sequence[SyscallRequest]) -> list[SyscallRequest]:
+        """Apply each variant's outgoing request transformation for one round.
+
+        Every request's own name is checked (not just variant 0's): a
+        mixed-name round executed under ``halt_on_alarm=False`` must still
+        decode the UID-carrying calls of the variants that issued them.
+        """
+        affected = self._transform_affected
+        if affected is not None and all(r.name not in affected for r in requests):
+            return list(requests)
+        return [
+            self.variations.transform_request(index, request)
+            for index, request in enumerate(requests)
+        ]

@@ -12,6 +12,11 @@ embedded data codec.  The codec is how the reproduction models the build-time
 source transformation of Section 3.3: the transformed program asks its
 context for the variant's representation of UID constants instead of using
 literal values.
+
+The lockstep loop itself lives in :mod:`repro.engine.session`, where it is a
+resumable *session* that a cooperative scheduler can interleave with other
+sessions; :class:`NVariantSystem` is the single-session (M=1) facade kept for
+the original API.
 """
 
 from __future__ import annotations
@@ -19,16 +24,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Generator, Optional, Sequence
 
-from repro.core.alarm import Alarm, AlarmType
+from repro.core.alarm import Alarm
 from repro.core.monitor import Monitor
 from repro.core.variations.base import Variation, VariationStack
-from repro.core.variations.uid import UIDVariation
-from repro.core.wrappers import SyscallWrappers, UnsharedFileRegistry, WrapperStats
-from repro.kernel.errors import VariantFault
+from repro.core.wrappers import SyscallWrappers, WrapperStats
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
 from repro.kernel.process import Process
-from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
+from repro.kernel.syscalls import SyscallRequest, SyscallResult
 
 Program = Generator[SyscallRequest, SyscallResult, Any]
 
@@ -142,22 +145,16 @@ class NVariantResult:
         return "\n".join(lines)
 
 
-@dataclasses.dataclass
-class _VariantRuntime:
-    """Internal per-variant bookkeeping for the lockstep loop."""
-
-    context: VariantContext
-    program: Program
-    started: bool = False
-    finished: bool = False
-    fault: Optional[VariantFault] = None
-    return_value: Any = None
-    pending_result: Optional[SyscallResult] = None
-    pending_request: Optional[SyscallRequest] = None
-
-
 class NVariantSystem:
-    """Runs N variants of one program in system-call lockstep."""
+    """Runs N variants of one program in system-call lockstep.
+
+    Since the introduction of the concurrent engine this class is a thin
+    facade: it builds one :class:`~repro.engine.session.NVariantSession`
+    (the M=1 special case of the multi-session engine) and drives it to
+    completion.  All historical attributes -- ``monitor``, ``wrappers``,
+    ``contexts``, ``processes`` -- remain available and reference the
+    session's per-session state.
+    """
 
     def __init__(
         self,
@@ -170,192 +167,74 @@ class NVariantSystem:
         max_rounds: int = 2_000_000,
         name: str = "nvariant",
     ):
+        # Deferred import: repro.engine.session imports this module for the
+        # shared context/result dataclasses.
+        from repro.engine.session import NVariantSession
+
+        self.session = NVariantSession(
+            kernel,
+            program_factory,
+            variations,
+            num_variants=num_variants,
+            halt_on_alarm=halt_on_alarm,
+            max_rounds=max_rounds,
+            name=name,
+        )
         self.kernel = kernel
         self.program_factory = program_factory
-        self.variations = VariationStack(list(variations), num_variants)
         self.num_variants = num_variants
-        self.halt_on_alarm = halt_on_alarm
-        self.max_rounds = max_rounds
         self.name = name
-        self.monitor = Monitor()
 
-        registry = UnsharedFileRegistry(num_variants)
-        registry.register_mapping(self.variations.setup_unshared_files(kernel.fs))
+    # halt_on_alarm and max_rounds are read by the lockstep loop at run time,
+    # so they forward to the session -- assigning them after construction
+    # keeps working as it did before the engine refactor.
 
-        self._contexts: list[VariantContext] = []
-        processes: list[Process] = []
-        for index in range(num_variants):
-            process = kernel.spawn_process(
-                f"{name}-v{index}",
-                address_space=self.variations.make_address_space(index),
-            )
-            processes.append(process)
-            self._contexts.append(
-                VariantContext(
-                    index=index,
-                    process=process,
-                    libc=Libc(),
-                    uid_codec=self._build_codec(index),
-                )
-            )
-        self.wrappers = SyscallWrappers(kernel, processes, registry)
+    @property
+    def halt_on_alarm(self) -> bool:
+        """Whether the first alarm stops the system (the paper's policy)."""
+        return self.session.halt_on_alarm
 
-    # -- construction helpers --------------------------------------------------
+    @halt_on_alarm.setter
+    def halt_on_alarm(self, value: bool) -> None:
+        self.session.halt_on_alarm = value
 
-    def _build_codec(self, index: int) -> UIDCodec:
-        for variation in self.variations:
-            if isinstance(variation, UIDVariation):
-                return UIDCodec(
-                    encode=lambda value, v=variation, i=index: v.encode(i, value),
-                    decode=lambda value, v=variation, i=index: v.decode(i, value),
-                )
-        return UIDCodec.identity()
+    @property
+    def max_rounds(self) -> int:
+        """Upper bound on lockstep rounds before the run is aborted."""
+        return self.session.max_rounds
+
+    @max_rounds.setter
+    def max_rounds(self, value: int) -> None:
+        self.session.max_rounds = value
+
+    @property
+    def variations(self) -> VariationStack:
+        """The session's variation stack."""
+        return self.session.variations
+
+    @property
+    def monitor(self) -> Monitor:
+        """The session's monitor (fresh per session, fresh stats per run)."""
+        return self.session.monitor
+
+    @property
+    def wrappers(self) -> SyscallWrappers:
+        """The session's syscall wrapper layer."""
+        return self.session.wrappers
 
     @property
     def contexts(self) -> list[VariantContext]:
         """The per-variant contexts (useful for inspection in tests)."""
-        return self._contexts
+        return self.session.contexts
 
     @property
     def processes(self) -> list[Process]:
         """The per-variant kernel processes."""
-        return [context.process for context in self._contexts]
-
-    # -- the lockstep loop ------------------------------------------------------------
+        return self.session.processes
 
     def run(self) -> NVariantResult:
         """Run the system until completion or (by default) the first alarm."""
-        runtimes = [
-            _VariantRuntime(context=context, program=self.program_factory(context))
-            for context in self._contexts
-        ]
-        rounds = 0
-        while rounds < self.max_rounds:
-            rounds += 1
-            self._advance_all(runtimes, rounds)
-
-            active = [r for r in runtimes if not r.finished]
-            faulted = [r for r in runtimes if r.fault is not None]
-
-            if faulted:
-                for runtime in faulted:
-                    if not self._already_reported(runtime):
-                        self.monitor.report_fault(
-                            runtime.context.index, runtime.fault, lockstep_index=rounds
-                        )
-                if self.halt_on_alarm:
-                    self._halt(runtimes)
-                    break
-                for runtime in faulted:
-                    runtime.fault = None  # keep going without re-reporting
-
-            if not active:
-                break
-
-            if len(active) != len(runtimes):
-                finished_indices = tuple(r.context.index for r in runtimes if r.finished)
-                self.monitor.report_lifecycle_divergence(
-                    "some variants terminated while others kept running",
-                    lockstep_index=rounds,
-                    variant_values=finished_indices,
-                )
-                if self.halt_on_alarm:
-                    self._halt(runtimes)
-                    break
-                # Without halting there is nothing sensible to synchronise on.
-                break
-
-            requests = [r.pending_request for r in runtimes]
-            if any(request is None for request in requests):
-                continue
-
-            transformed = [
-                self.variations.transform_request(r.context.index, request)
-                for r, request in zip(runtimes, requests)
-            ]
-            canonical = [
-                self.variations.canonicalize_request(r.context.index, request)
-                for r, request in zip(runtimes, requests)
-            ]
-            alarm = self.monitor.check_syscalls(canonical, lockstep_index=rounds)
-            if alarm is not None and self.halt_on_alarm:
-                self._halt(runtimes)
-                break
-
-            raw_results = self.wrappers.execute_round(transformed)
-            for runtime, request, raw in zip(runtimes, requests, raw_results):
-                runtime.pending_result = self.variations.transform_result(
-                    runtime.context.index, request, raw
-                )
-                runtime.pending_request = None
-                if request.name is Syscall.EXIT or not runtime.context.process.alive:
-                    runtime.finished = True
-                    runtime.program.close()
-        else:
-            raise RuntimeError(f"lockstep engine exceeded {self.max_rounds} rounds")
-
-        return self._build_result(runtimes, rounds)
-
-    # -- loop internals ---------------------------------------------------------------------
-
-    def _advance_all(self, runtimes: list[_VariantRuntime], round_index: int) -> None:
-        """Advance every unfinished variant to its next system call."""
-        for runtime in runtimes:
-            if runtime.finished or runtime.pending_request is not None:
-                continue
-            try:
-                if not runtime.started:
-                    runtime.pending_request = runtime.program.send(None)
-                    runtime.started = True
-                else:
-                    runtime.pending_request = runtime.program.send(runtime.pending_result)
-            except StopIteration as stop:
-                runtime.return_value = stop.value
-                runtime.finished = True
-                if runtime.context.process.alive and runtime.context.process.exit_code is None:
-                    runtime.context.process.exit(0)
-            except VariantFault as fault:
-                runtime.fault = fault
-                runtime.finished = True
-                runtime.context.process.fault(f"{fault.kind}: {fault.message}")
-
-    def _already_reported(self, runtime: _VariantRuntime) -> bool:
-        return any(
-            alarm.alarm_type is AlarmType.VARIANT_FAULT
-            and alarm.faulting_variant == runtime.context.index
-            for alarm in self.monitor.alarms
-        )
-
-    def _halt(self, runtimes: list[_VariantRuntime]) -> None:
-        """Stop every variant (the paper's halt-on-divergence policy)."""
-        for runtime in runtimes:
-            if not runtime.finished:
-                runtime.finished = True
-                runtime.program.close()
-            process = runtime.context.process
-            if process.alive:
-                process.fault("halted by monitor after divergence")
-
-    def _build_result(self, runtimes: list[_VariantRuntime], rounds: int) -> NVariantResult:
-        variants = []
-        for runtime in runtimes:
-            process = runtime.context.process
-            variants.append(
-                VariantOutcome(
-                    index=runtime.context.index,
-                    exit_code=process.exit_code,
-                    fault=process.fault_reason if runtime.fault or process.fault_reason else None,
-                    return_value=runtime.return_value,
-                    syscall_count=process.stats.syscall_count,
-                )
-            )
-        return NVariantResult(
-            alarms=list(self.monitor.alarms),
-            variants=variants,
-            lockstep_rounds=rounds,
-            wrapper_stats=self.wrappers.stats,
-            monitor=self.monitor,
-        )
+        return self.session.run()
 
 
 def nvexec(

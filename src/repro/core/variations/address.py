@@ -28,6 +28,11 @@ class AddressPartitioning(Variation):
     target_type = "address"
     reference = "Cox et al., USENIX Security 2006 [16]"
 
+    #: Partitioning diversifies the address *spaces*, not any syscall
+    #: arguments, so no request is ever rewritten or canonicalized.
+    canonical_syscalls = frozenset()
+    transform_syscalls = frozenset()
+
     def __init__(self) -> None:
         self.num_variants = 2
 

@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.core.reexpression import ReexpressionFunction, identity_reexpression
 from repro.kernel.filesystem import FileSystem
-from repro.kernel.syscalls import SyscallRequest, SyscallResult
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
 from repro.memory.address_space import AddressSpace
 
 
@@ -43,6 +43,21 @@ class Variation:
 
     #: Literature reference shown in the Table 1 reproduction.
     reference: str = ""
+
+    #: The system calls :meth:`canonicalize_request` may rewrite, or ``None``
+    #: when the set cannot be stated statically.  Declaring the footprint lets
+    #: the lockstep engine's :class:`~repro.core.monitor.SyscallComparator`
+    #: skip canonicalization entirely for unaffected calls; ``None`` disables
+    #: that fast path, so an undeclared subclass stays correct, just slower.
+    #: A subclass overriding :meth:`canonicalize_request` without redeclaring
+    #: this in the same class is detected by :class:`VariationStack`, which
+    #: then treats the footprint as unknown -- a stale inherited declaration
+    #: can never silently bypass the subclass's canonicalization.
+    canonical_syscalls: Optional[frozenset[Syscall]] = None
+
+    #: The system calls :meth:`transform_request` may rewrite (same contract
+    #: as :attr:`canonical_syscalls`, for the outgoing-request hook).
+    transform_syscalls: Optional[frozenset[Syscall]] = None
 
     # -- reexpression functions ------------------------------------------------
 
@@ -151,6 +166,49 @@ class VariationStack:
                 )
         self.variations = list(variations)
         self.num_variants = num_variants
+        self._canonical_syscalls = self._union_footprint(
+            "canonical_syscalls", "canonicalize_request"
+        )
+        self._transform_syscalls = self._union_footprint(
+            "transform_syscalls", "transform_request"
+        )
+
+    @staticmethod
+    def _declaring_class(cls: type, attribute: str) -> Optional[type]:
+        for klass in cls.__mro__:
+            if attribute in vars(klass):
+                return klass
+        return None
+
+    def _union_footprint(self, attribute: str, hook: str) -> Optional[frozenset[Syscall]]:
+        footprint: frozenset[Syscall] = frozenset()
+        for variation in self.variations:
+            declared = getattr(variation, attribute)
+            if declared is None:
+                return None
+            # A class that overrides the hook below where the footprint was
+            # declared inherited a footprint that cannot be trusted to cover
+            # the override; fall back to "unknown" so the comparator's fast
+            # path is disabled rather than silently skipping the new rewrite.
+            hook_class = self._declaring_class(type(variation), hook)
+            declaration_class = self._declaring_class(type(variation), attribute)
+            if (
+                hook_class is not None
+                and declaration_class is not None
+                and hook_class is not declaration_class
+                and issubclass(hook_class, declaration_class)
+            ):
+                return None
+            footprint |= declared
+        return footprint
+
+    def canonical_syscalls(self) -> Optional[frozenset[Syscall]]:
+        """Union of the stack's canonicalization footprints (``None`` = unknown)."""
+        return self._canonical_syscalls
+
+    def transform_syscalls(self) -> Optional[frozenset[Syscall]]:
+        """Union of the stack's request-transformation footprints."""
+        return self._transform_syscalls
 
     def make_address_space(self, index: int) -> AddressSpace:
         """First variation-provided address space, or a default flat space."""

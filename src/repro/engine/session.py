@@ -1,0 +1,322 @@
+"""One N-variant system as a resumable, schedulable session.
+
+A session owns everything one lockstep N-variant run needs -- the variant
+processes and contexts, the variation stack, the syscall wrapper layer, and a
+monitor created fresh for the session (so :class:`~repro.core.monitor.MonitorStats`
+never leak between runs).  Unlike :meth:`NVariantSystem.run`, which loops to
+completion, a session exposes :meth:`NVariantSession.step`: execute exactly
+one lockstep round and return the session's state.  That is the unit the
+cooperative scheduler interleaves, and running ``step()`` in a loop until the
+session leaves ``RUNNING`` reproduces the original single-session semantics
+exactly.
+
+The hot path of a round -- canonicalize every variant's request and compare --
+goes through :class:`~repro.core.monitor.SyscallComparator`, which precomputes
+which system calls each variation actually rewrites so the overwhelming
+majority of rounds (read/write/open/accept/...) skip the per-variation
+canonicalization walk entirely and fall into a batched tuple comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Optional, Sequence
+
+from repro.core.alarm import AlarmType
+from repro.core.monitor import Monitor, SyscallComparator
+from repro.core.variations.base import Variation, VariationStack
+from repro.core.wrappers import SyscallWrappers, UnsharedFileRegistry
+from repro.kernel.errors import VariantFault
+from repro.kernel.kernel import SimulatedKernel
+from repro.kernel.libc import Libc
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a session under the engine."""
+
+    #: The session has unfinished variants and can accept another ``step()``.
+    RUNNING = "running"
+    #: Every variant finished and the monitor never forced a stop.
+    COMPLETED = "completed"
+    #: The monitor stopped the session (the paper's halt-on-divergence policy).
+    HALTED = "halted"
+
+
+@dataclasses.dataclass
+class _VariantRuntime:
+    """Internal per-variant bookkeeping for the lockstep loop."""
+
+    context: "VariantContext"
+    program: "Program"
+    started: bool = False
+    finished: bool = False
+    fault: Optional[VariantFault] = None
+    return_value: object = None
+    pending_result: Optional[SyscallResult] = None
+    pending_request: Optional[SyscallRequest] = None
+
+
+class NVariantSession:
+    """One N-variant system, advanced one lockstep round at a time.
+
+    Parameters mirror :class:`~repro.core.nvariant.NVariantSystem`; the
+    difference is purely the execution interface.  Each session builds its own
+    :class:`~repro.core.monitor.Monitor`, so alarm lists and monitor counters
+    are per-session state -- two sessions on the same engine never share or
+    accumulate each other's statistics.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulatedKernel,
+        program_factory: Callable[["VariantContext"], "Program"],
+        variations: Sequence[Variation] = (),
+        *,
+        num_variants: int = 2,
+        halt_on_alarm: bool = True,
+        max_rounds: int = 2_000_000,
+        name: str = "session",
+    ):
+        # Imported here (not at module top) because repro.core.nvariant is the
+        # backwards-compatible facade over this module and imports it lazily;
+        # a module-level import in both directions would be circular.
+        from repro.core.nvariant import VariantContext
+
+        self.kernel = kernel
+        self.program_factory = program_factory
+        self.variations = VariationStack(list(variations), num_variants)
+        self.num_variants = num_variants
+        self.halt_on_alarm = halt_on_alarm
+        self.max_rounds = max_rounds
+        self.name = name
+        self.monitor = Monitor()
+        self.comparator = SyscallComparator(self.variations, self.monitor)
+        self.rounds = 0
+        self.state = SessionState.RUNNING
+        self._ticks_consumed = 0
+
+        registry = UnsharedFileRegistry(num_variants)
+        registry.register_mapping(self.variations.setup_unshared_files(kernel.fs))
+
+        self._contexts: list[VariantContext] = []
+        processes: list[Process] = []
+        for index in range(num_variants):
+            process = kernel.spawn_process(
+                f"{name}-v{index}",
+                address_space=self.variations.make_address_space(index),
+            )
+            processes.append(process)
+            self._contexts.append(
+                VariantContext(
+                    index=index,
+                    process=process,
+                    libc=Libc(),
+                    uid_codec=self._build_codec(index),
+                )
+            )
+        self.wrappers = SyscallWrappers(kernel, processes, registry)
+        self._runtimes = [
+            _VariantRuntime(context=context, program=self.program_factory(context))
+            for context in self._contexts
+        ]
+
+    # -- construction helpers --------------------------------------------------
+
+    def _build_codec(self, index: int) -> "UIDCodec":
+        from repro.core.nvariant import UIDCodec
+        from repro.core.variations.uid import UIDVariation
+
+        for variation in self.variations:
+            if isinstance(variation, UIDVariation):
+                return UIDCodec(
+                    encode=lambda value, v=variation, i=index: v.encode(i, value),
+                    decode=lambda value, v=variation, i=index: v.decode(i, value),
+                )
+        return UIDCodec.identity()
+
+    @property
+    def contexts(self) -> list["VariantContext"]:
+        """The per-variant contexts (useful for inspection in tests)."""
+        return self._contexts
+
+    @property
+    def processes(self) -> list[Process]:
+        """The per-variant kernel processes."""
+        return [context.process for context in self._contexts]
+
+    @property
+    def done(self) -> bool:
+        """True once the session has reached a terminal state."""
+        return self.state is not SessionState.RUNNING
+
+    @property
+    def virtual_elapsed(self) -> int:
+        """Kernel clock ticks this session's own rounds consumed.
+
+        Metered inside :meth:`step` (not as a wall window over the kernel
+        clock), so sessions sharing one kernel never count each other's
+        ticks.
+        """
+        return self._ticks_consumed
+
+    # -- the lockstep round ----------------------------------------------------
+
+    def step(self) -> SessionState:
+        """Execute one lockstep round; returns the resulting session state."""
+        if self.state is not SessionState.RUNNING:
+            return self.state
+        if self.rounds >= self.max_rounds:
+            raise RuntimeError(f"lockstep session exceeded {self.max_rounds} rounds")
+        clock_before = self.kernel.clock
+        try:
+            return self._step_round()
+        finally:
+            self._ticks_consumed += self.kernel.clock - clock_before
+
+    def _step_round(self) -> SessionState:
+        self.rounds += 1
+        runtimes = self._runtimes
+        self._advance_all(runtimes)
+
+        active = [r for r in runtimes if not r.finished]
+        faulted = [r for r in runtimes if r.fault is not None]
+
+        if faulted:
+            for runtime in faulted:
+                if not self._already_reported(runtime):
+                    self.monitor.report_fault(
+                        runtime.context.index, runtime.fault, lockstep_index=self.rounds
+                    )
+            if self.halt_on_alarm:
+                return self.halt()
+            for runtime in faulted:
+                runtime.fault = None  # keep going without re-reporting
+
+        if not active:
+            self.state = SessionState.COMPLETED
+            return self.state
+
+        if len(active) != len(runtimes):
+            finished_indices = tuple(r.context.index for r in runtimes if r.finished)
+            self.monitor.report_lifecycle_divergence(
+                "some variants terminated while others kept running",
+                lockstep_index=self.rounds,
+                variant_values=finished_indices,
+            )
+            if self.halt_on_alarm:
+                return self.halt()
+            # Without halting there is nothing sensible to synchronise on.
+            self.state = SessionState.COMPLETED
+            return self.state
+
+        requests = [r.pending_request for r in runtimes]
+        if any(request is None for request in requests):
+            return self.state
+
+        alarm = self.comparator.check_round(requests, lockstep_index=self.rounds)
+        if alarm is not None and self.halt_on_alarm:
+            return self.halt()
+
+        transformed = self.comparator.transform_round(requests)
+        raw_results = self.wrappers.execute_round(transformed)
+        for runtime, request, raw in zip(runtimes, requests, raw_results):
+            runtime.pending_result = self.variations.transform_result(
+                runtime.context.index, request, raw
+            )
+            runtime.pending_request = None
+            if request.name is Syscall.EXIT or not runtime.context.process.alive:
+                runtime.finished = True
+                runtime.program.close()
+        return self.state
+
+    def run(self) -> "NVariantResult":
+        """Drive the session to completion (the M=1 engine special case).
+
+        Resuming a partially stepped session is fine; a session that already
+        reached a terminal state cannot run again (its programs are consumed
+        generators and its processes have exited), so a repeated ``run()``
+        raises instead of silently returning the stale result.
+        """
+        if self.state is not SessionState.RUNNING:
+            raise RuntimeError(
+                f"session {self.name!r} already {self.state.value}; "
+                "construct a new session to run again"
+            )
+        if self.rounds == 0:
+            # The monitor is fresh from __init__, but callers may have poked
+            # counters or alarms between construction and run (the stale-stats
+            # regression test does exactly that); a complete run starts from
+            # zero regardless.
+            self.monitor.reset()
+        while self.state is SessionState.RUNNING:
+            self.step()
+        return self.result()
+
+    def halt(self) -> SessionState:
+        """Stop every variant (the paper's halt-on-divergence policy)."""
+        for runtime in self._runtimes:
+            if not runtime.finished:
+                runtime.finished = True
+                runtime.program.close()
+            process = runtime.context.process
+            if process.alive:
+                process.fault("halted by monitor after divergence")
+        self.state = SessionState.HALTED
+        return self.state
+
+    def result(self) -> "NVariantResult":
+        """Build the :class:`~repro.core.nvariant.NVariantResult` so far."""
+        from repro.core.nvariant import NVariantResult, VariantOutcome
+
+        variants = []
+        for runtime in self._runtimes:
+            process = runtime.context.process
+            variants.append(
+                VariantOutcome(
+                    index=runtime.context.index,
+                    exit_code=process.exit_code,
+                    fault=process.fault_reason if runtime.fault or process.fault_reason else None,
+                    return_value=runtime.return_value,
+                    syscall_count=process.stats.syscall_count,
+                )
+            )
+        return NVariantResult(
+            alarms=list(self.monitor.alarms),
+            variants=variants,
+            lockstep_rounds=self.rounds,
+            wrapper_stats=self.wrappers.stats,
+            monitor=self.monitor,
+        )
+
+    # -- loop internals --------------------------------------------------------
+
+    def _advance_all(self, runtimes: list[_VariantRuntime]) -> None:
+        """Advance every unfinished variant to its next system call."""
+        for runtime in runtimes:
+            if runtime.finished or runtime.pending_request is not None:
+                continue
+            try:
+                if not runtime.started:
+                    runtime.pending_request = runtime.program.send(None)
+                    runtime.started = True
+                else:
+                    runtime.pending_request = runtime.program.send(runtime.pending_result)
+            except StopIteration as stop:
+                runtime.return_value = stop.value
+                runtime.finished = True
+                if runtime.context.process.alive and runtime.context.process.exit_code is None:
+                    runtime.context.process.exit(0)
+            except VariantFault as fault:
+                runtime.fault = fault
+                runtime.finished = True
+                runtime.context.process.fault(f"{fault.kind}: {fault.message}")
+
+    def _already_reported(self, runtime: _VariantRuntime) -> bool:
+        return any(
+            alarm.alarm_type is AlarmType.VARIANT_FAULT
+            and alarm.faulting_variant == runtime.context.index
+            for alarm in self.monitor.alarms
+        )

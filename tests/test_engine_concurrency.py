@@ -1,0 +1,288 @@
+"""Concurrent multi-session engine: determinism, halt policies, fresh stats.
+
+The engine's claim is that interleaving changes *scheduling*, never
+*behaviour*: N sessions run concurrently must produce exactly the alarms and
+HTTP responses of the same N sessions run back-to-back, and one session's
+alarm must stop only that session under the per-session halt policy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.clients.webbench import WebBenchWorkload, drive_engine
+from repro.apps.httpd.server import make_httpd_factory
+from repro.attacks.payloads import benign_request, uid_overwrite_payload
+from repro.core.nvariant import NVariantSystem
+from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.uid import UIDVariation
+from repro.engine import (
+    HaltPolicy,
+    MultiSessionEngine,
+    NVariantSession,
+    SessionState,
+    run_sessions,
+)
+from repro.kernel.host import HTTP_PORT, build_standard_host
+
+
+def _variations():
+    return [AddressPartitioning(), UIDVariation()]
+
+
+def _httpd_session(name, payloads, *, max_requests=None):
+    """A 2-variant transformed httpd session on its own host, pre-loaded."""
+    kernel = build_standard_host()
+    for payload in payloads:
+        kernel.client_connect(HTTP_PORT, payload)
+    factory = make_httpd_factory(
+        transformed=True, max_requests=max_requests if max_requests is not None else len(payloads)
+    )
+    session = NVariantSession(kernel, factory, _variations(), name=name)
+    return kernel, session
+
+
+def _benign_payloads(count, path="/index.html"):
+    return [benign_request(path) for _ in range(count)]
+
+
+def _responses(kernel):
+    return [conn.response_bytes() for conn in kernel.network.connections]
+
+
+def _alarm_signature(result):
+    return [(alarm.alarm_type, alarm.syscall) for alarm in result.alarms]
+
+
+class TestInterleavingDeterminism:
+    def test_concurrent_sessions_match_sequential_runs(self):
+        paths = ["/index.html", "/news.html", "/docs/faq.html", "/products.html"]
+        sequential = []
+        for index, path in enumerate(paths):
+            kernel, session = _httpd_session(f"seq-{index}", _benign_payloads(3, path))
+            result = session.run()
+            sequential.append((_alarm_signature(result), _responses(kernel)))
+
+        concurrent_sessions = []
+        concurrent_kernels = []
+        for index, path in enumerate(paths):
+            kernel, session = _httpd_session(f"con-{index}", _benign_payloads(3, path))
+            concurrent_kernels.append(kernel)
+            concurrent_sessions.append(session)
+        engine_result = run_sessions(concurrent_sessions)
+
+        assert engine_result.total_alarms == 0
+        for index, entry in enumerate(engine_result.sessions):
+            assert entry.state is SessionState.COMPLETED
+            expected_alarms, expected_responses = sequential[index]
+            assert _alarm_signature(entry.result) == expected_alarms
+            assert _responses(concurrent_kernels[index]) == expected_responses
+
+    def test_unequal_session_lengths_all_complete(self):
+        sessions = []
+        kernels = []
+        for index, count in enumerate((1, 4, 9)):
+            kernel, session = _httpd_session(f"len-{index}", _benign_payloads(count))
+            kernels.append(kernel)
+            sessions.append(session)
+        result = run_sessions(sessions)
+        assert [entry.state for entry in result.sessions] == [SessionState.COMPLETED] * 3
+        assert result.total_alarms == 0
+        for kernel, count in zip(kernels, (1, 4, 9)):
+            responses = _responses(kernel)
+            assert len(responses) == count
+            assert all(raw.startswith(b"HTTP/1.0 200") for raw in responses)
+
+    def test_attack_detected_identically_under_interleaving(self):
+        attack_payloads = [benign_request(), uid_overwrite_payload(0)]
+        _, alone = _httpd_session("alone", attack_payloads)
+        alone_result = alone.run()
+        assert alone_result.attack_detected
+
+        _, attacked = _httpd_session("attacked", attack_payloads)
+        benign = [_httpd_session(f"b-{i}", _benign_payloads(3))[1] for i in range(3)]
+        engine_result = run_sessions([attacked] + benign)
+        assert (
+            _alarm_signature(engine_result.session("attacked").result)
+            == _alarm_signature(alone_result)
+        )
+
+
+class TestHaltPolicies:
+    def _mixed_fleet(self):
+        attack_kernel, attack_session = _httpd_session(
+            "victim", [benign_request(), uid_overwrite_payload(0)]
+        )
+        benign_kernel, benign_session = _httpd_session("bystander", _benign_payloads(6))
+        return attack_kernel, attack_session, benign_kernel, benign_session
+
+    def test_per_session_halt_stops_only_the_alarming_session(self):
+        attack_kernel, attack_session, benign_kernel, benign_session = self._mixed_fleet()
+        result = run_sessions([attack_session, benign_session])
+
+        victim = result.session("victim")
+        bystander = result.session("bystander")
+        assert victim.state is SessionState.HALTED
+        assert victim.alarms >= 1
+        assert bystander.state is SessionState.COMPLETED
+        assert bystander.alarms == 0
+        responses = _responses(benign_kernel)
+        assert len(responses) == 6
+        assert all(raw.startswith(b"HTTP/1.0 200") for raw in responses)
+
+    def test_halt_all_policy_stops_the_whole_fleet(self):
+        _, attack_session, _, benign_session = self._mixed_fleet()
+        result = run_sessions(
+            [attack_session, benign_session], halt_policy=HaltPolicy.HALT_ALL
+        )
+        assert result.session("victim").state is SessionState.HALTED
+        assert result.session("bystander").state is SessionState.HALTED
+        assert result.session("bystander").alarms == 0
+
+
+class TestMonitorStatsIsolation:
+    def test_each_session_gets_fresh_stats(self):
+        """Two identical sessions report identical (not accumulated) counters."""
+        _, first = _httpd_session("first", _benign_payloads(2))
+        _, second = _httpd_session("second", _benign_payloads(2))
+        result = run_sessions([first, second])
+        stats_a = result.session("first").result.monitor.stats
+        stats_b = result.session("second").result.monitor.stats
+        assert stats_a.lockstep_points > 0
+        assert dataclasses.asdict(stats_a) == dataclasses.asdict(stats_b)
+
+    def test_run_resets_stale_monitor_counters(self):
+        """Regression: stale MonitorStats must not leak into a run's result."""
+        kernel = build_standard_host()
+        kernel.client_connect(HTTP_PORT, benign_request())
+        system = NVariantSystem(
+            kernel, make_httpd_factory(transformed=True, max_requests=1), _variations()
+        )
+        system.monitor.stats.lockstep_points = 123_456  # stale from a previous run
+        system.monitor.stats.alarms_raised = 99
+        result = system.run()
+        assert result.completed_normally
+        assert 0 < result.monitor.stats.lockstep_points < 123_456
+        assert result.monitor.stats.alarms_raised == 0
+
+    def test_monitor_reset_clears_alarms_and_counters(self):
+        _, session = _httpd_session("reset", [benign_request(), uid_overwrite_payload(0)])
+        session.run()
+        monitor = session.monitor
+        assert monitor.attack_detected and monitor.stats.alarms_raised > 0
+        monitor.reset()
+        assert not monitor.attack_detected
+        assert monitor.stats.lockstep_points == 0
+        assert monitor.stats.alarms_raised == 0
+
+
+class TestServerMultiplexing:
+    def test_pipeline_longer_than_one_recv_window_is_fully_served(self):
+        """Regression: a keep-alive pipeline larger than the server's recv
+        window (max_request_size + 4096 bytes) must be drained, not silently
+        truncated mid-request."""
+        from repro.apps.clients.webbench import drive_standalone
+
+        measurement = drive_standalone(
+            WebBenchWorkload(total_requests=200, requests_per_connection=200),
+            transformed=False,
+        )
+        assert measurement.requests_completed == 200
+        assert measurement.status_counts == {200: 200}
+
+    def test_drained_accept_queue_is_not_repolled(self):
+        """Regression: once the accept queue is empty the multiplexed loop
+        must stop issuing failing accept calls on every scheduling turn."""
+        from repro.apps.clients.webbench import drive_standalone
+
+        kernel = build_standard_host()
+        drive_standalone(
+            WebBenchWorkload(total_requests=12, requests_per_connection=3),
+            transformed=False,
+            multiplex=8,
+            kernel=kernel,
+        )
+        # 4 successful accepts (one per connection) + exactly 1 failed accept
+        # that closes admission.
+        assert kernel.stats.syscall_breakdown["accept"] == 5
+
+    def test_truncated_trailing_fragment_is_not_completed(self):
+        """split_requests must not synthesise the header terminator for a
+        truncated trailing fragment."""
+        from repro.apps.httpd.http import split_requests
+
+        pipeline = benign_request("/a.html") + b"GET /b.html HTTP/1.0"
+        parts = split_requests(pipeline)
+        assert parts[0] == benign_request("/a.html")
+        assert parts[-1] == b"GET /b.html HTTP/1.0"
+
+
+class TestEngineMechanics:
+    def test_stepping_matches_single_shot_run(self):
+        _, stepped = _httpd_session("stepped", _benign_payloads(2))
+        while not stepped.done:
+            stepped.step()
+        _, oneshot = _httpd_session("oneshot", _benign_payloads(2))
+        oneshot_result = oneshot.run()
+        assert stepped.result().lockstep_rounds == oneshot_result.lockstep_rounds
+        assert stepped.state is SessionState.COMPLETED
+
+    def test_virtual_elapsed_is_max_over_sessions(self):
+        sessions = [_httpd_session(f"v-{i}", _benign_payloads(i + 1))[1] for i in range(3)]
+        result = run_sessions(sessions)
+        assert result.virtual_elapsed == max(s.virtual_elapsed for s in result.sessions)
+        assert result.virtual_elapsed_sequential == sum(
+            s.virtual_elapsed for s in result.sessions
+        )
+        assert result.virtual_elapsed < result.virtual_elapsed_sequential
+
+    def test_rerunning_a_finished_session_raises(self):
+        """A terminal session's programs are consumed; a repeated run() must
+        raise rather than silently return the stale result."""
+        _, session = _httpd_session("once", _benign_payloads(1))
+        session.run()
+        with pytest.raises(RuntimeError, match="already completed"):
+            session.run()
+
+    def test_sessions_sharing_a_kernel_meter_only_their_own_ticks(self):
+        """virtual_elapsed counts ticks consumed inside the session's own
+        rounds, so co-scheduled sessions on one kernel never double-count."""
+
+        def factory(context):
+            def program():
+                for _ in range(5):
+                    yield from context.libc.getpid()
+                yield from context.libc.exit(0)
+
+            return program()
+
+        kernel = build_standard_host()
+        clock_before = kernel.clock
+        sessions = [
+            NVariantSession(kernel, factory, [], name=f"shared-{i}") for i in range(2)
+        ]
+        result = run_sessions(sessions)
+        consumed = kernel.clock - clock_before
+        assert result.virtual_elapsed_sequential == consumed
+        assert all(s.virtual_elapsed > 0 for s in result.sessions)
+
+    def test_duplicate_session_names_rejected(self):
+        _, a = _httpd_session("dup", _benign_payloads(1))
+        _, b = _httpd_session("dup", _benign_payloads(1))
+        engine = MultiSessionEngine([a])
+        with pytest.raises(ValueError):
+            engine.add_session(b)
+
+    def test_empty_engine_returns_empty_result(self):
+        result = MultiSessionEngine().run()
+        assert result.sessions == [] and result.total_alarms == 0
+
+    def test_drive_engine_scales_throughput(self):
+        single = drive_engine(
+            WebBenchWorkload(total_requests=6), _variations, num_sessions=1
+        )
+        fleet = drive_engine(
+            WebBenchWorkload(total_requests=24), _variations, num_sessions=4
+        )
+        assert single.completed_ok and fleet.completed_ok
+        assert fleet.speedup() > 3.0
