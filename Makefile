@@ -1,6 +1,7 @@
 # Developer/CI entry points.
 #
 #   make test        -- the tier-1 verification suite (tests/ only)
+#   make check       -- tier-1 tests + a CLI scenario smoke run (CI gate)
 #   make bench       -- every paper-table/figure benchmark, with timing
 #   make bench-smoke -- every benchmark once, no timing (fast CI exercise)
 #   make examples    -- run each example script end to end
@@ -11,10 +12,15 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCHES := $(wildcard benchmarks/bench_*.py)
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test bench bench-smoke examples
+.PHONY: test check bench bench-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+check: test
+	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
+	@echo "check ok: tier-1 tests + CLI scenario smoke"
 
 bench:
 	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-only -s

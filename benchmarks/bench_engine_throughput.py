@@ -9,9 +9,8 @@ single-session baseline, with zero spurious alarms on the benign workload.
 
 from conftest import emit
 
-from repro.apps.clients.webbench import WebBenchWorkload, drive_engine
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.uid import UIDVariation
+from repro.api.spec import ADDRESS_UID_SPEC, FleetSpec, WorkloadSpec
+from repro.apps.clients.webbench import drive_engine
 
 #: Benign requests served by each session (kept small: virtual time is
 #: deterministic, so scaling ratios do not depend on the workload size).
@@ -20,22 +19,30 @@ REQUESTS_PER_SESSION = 12
 #: Session counts swept by the scaling study.
 SESSION_COUNTS = (1, 2, 4, 8)
 
+#: The per-session system under test: address partitioning + UID diversity.
+SYSTEM = ADDRESS_UID_SPEC.with_name("httpd")
 
-def _variations():
-    return [AddressPartitioning(), UIDVariation()]
+
+def _fleet(sessions: int, *, total_requests: int, requests_per_connection: int = 1,
+           multiplex: int = 1, name: str | None = None) -> FleetSpec:
+    return FleetSpec(
+        name=name if name is not None else f"engine-{sessions}",
+        system=SYSTEM,
+        num_sessions=sessions,
+        workload=WorkloadSpec(
+            total_requests=total_requests,
+            requests_per_connection=requests_per_connection,
+        ),
+        multiplex=multiplex,
+    )
 
 
 def run_scaling(requests_per_session: int = REQUESTS_PER_SESSION):
     """Drive the benign workload at each session count; returns measurements."""
     results = {}
     for sessions in SESSION_COUNTS:
-        workload = WebBenchWorkload(total_requests=requests_per_session * sessions)
         results[sessions] = drive_engine(
-            workload,
-            _variations,
-            num_sessions=sessions,
-            transformed=True,
-            configuration=f"engine-{sessions}",
+            _fleet(sessions, total_requests=requests_per_session * sessions)
         )
     return results
 
@@ -98,17 +105,16 @@ def test_engine_keepalive_multiplexing(benchmark):
 
     def run_pair():
         serial = drive_engine(
-            WebBenchWorkload(total_requests=24),
-            _variations,
-            num_sessions=2,
-            configuration="serial-connections",
+            _fleet(2, total_requests=24, name="serial-connections")
         )
         keepalive = drive_engine(
-            WebBenchWorkload(total_requests=24, requests_per_connection=4),
-            _variations,
-            num_sessions=2,
-            multiplex=4,
-            configuration="keepalive-multiplexed",
+            _fleet(
+                2,
+                total_requests=24,
+                requests_per_connection=4,
+                multiplex=4,
+                name="keepalive-multiplexed",
+            )
         )
         return serial, keepalive
 

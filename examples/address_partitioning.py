@@ -12,13 +12,13 @@ corrupted UID is an ordinary data value, valid in both address spaces), which
 is the gap the paper's data diversity fills.
 """
 
+from repro import ADDRESS_PARTITIONING_SPEC
 from repro.attacks.memory_attacks import (
     run_address_attack_nvariant,
     run_address_attack_single,
     standard_address_attacks,
 )
 from repro.attacks.uid_attacks import run_remote_attack_nvariant, standard_uid_attacks
-from repro.core.variations.address import AddressPartitioning
 from repro.memory.address_space import AddressSpace
 from repro.memory.memory_model import MemoryRegion
 
@@ -47,12 +47,7 @@ def main() -> None:
 
     print("The UID-corruption attack against address partitioning alone:")
     uid_attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
-    outcome = run_remote_attack_nvariant(
-        uid_attack,
-        [AddressPartitioning()],
-        transformed=False,
-        configuration="2-variant-address",
-    )
+    outcome = run_remote_attack_nvariant(uid_attack, ADDRESS_PARTITIONING_SPEC)
     print(f"  {uid_attack.name}: {outcome.kind.value}")
     print("  (address partitioning does not defend non-control data; the UID")
     print("   variation of the paper exists exactly for this attack class)")

@@ -15,6 +15,7 @@ configuration, serves a benign request, and then shows a real UID-corruption
 attack (a header overflow) being detected.
 """
 
+from repro import UID_DIVERSITY_SPEC, build_system
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
 from repro.apps.httpd.server import make_httpd_factory
 from repro.attacks.payloads import benign_request, uid_overwrite_payload
@@ -25,7 +26,6 @@ from repro.core import (
     nvexec,
     vulnerable_app_interpreter,
 )
-from repro.core.nvariant import NVariantSystem
 from repro.kernel.host import HTTP_PORT, build_standard_host
 
 
@@ -94,10 +94,7 @@ def step3_mini_apache() -> None:
     print("=" * 72)
 
     measurement, result = drive_nvariant(
-        WebBenchWorkload(total_requests=6),
-        [UIDVariation()],
-        transformed=True,
-        configuration="quickstart",
+        WebBenchWorkload(total_requests=6), UID_DIVERSITY_SPEC.with_name("quickstart")
     )
     print(f"benign workload: {measurement.requests_completed} requests served, "
           f"statuses {measurement.status_counts}, alarms {measurement.alarms}")
@@ -105,10 +102,10 @@ def step3_mini_apache() -> None:
     kernel = build_standard_host()
     kernel.client_connect(HTTP_PORT, benign_request())
     kernel.client_connect(HTTP_PORT, uid_overwrite_payload(0), client="attacker")
-    system = NVariantSystem(
+    system = build_system(
+        UID_DIVERSITY_SPEC,
         kernel,
         make_httpd_factory(transformed=True, max_requests=2),
-        [UIDVariation()],
         name="httpd",
     )
     attack_result = system.run()

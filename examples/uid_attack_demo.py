@@ -15,36 +15,28 @@ cached ``uid_t`` fields -- are sent to:
 Run with ``python examples/uid_attack_demo.py``.
 """
 
-from repro.attacks.runner import CampaignConfiguration, run_uid_campaign
+from repro import (
+    ADDRESS_PARTITIONING_SPEC,
+    SINGLE_PROCESS_SPEC,
+    UID_DIVERSITY_SPEC,
+    run_campaign,
+)
 from repro.attacks.uid_attacks import standard_uid_attacks
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.uid import UIDVariation
 
 
 def main() -> None:
-    configurations = (
-        CampaignConfiguration(name="single-process", redundant=False, transformed=False),
-        CampaignConfiguration(
-            name="2-variant-address",
-            redundant=True,
-            variations=(AddressPartitioning,),
-            transformed=False,
-        ),
-        CampaignConfiguration(
-            name="2-variant-uid", redundant=True, variations=(UIDVariation,), transformed=True
-        ),
-    )
+    specs = (SINGLE_PROCESS_SPEC, ADDRESS_PARTITIONING_SPEC, UID_DIVERSITY_SPEC)
     attacks = [attack for attack in standard_uid_attacks() if attack.remote]
 
-    print("Running", len(attacks), "UID-corruption attacks against", len(configurations),
+    print("Running", len(attacks), "UID-corruption attacks against", len(specs),
           "configurations...\n")
-    report = run_uid_campaign(attacks, configurations)
+    report = run_campaign(specs, attacks)
     print(report.describe())
 
     print("\nDetection rates:")
-    for configuration in configurations:
-        rate = report.detection_rate(configuration.name)
-        print(f"  {configuration.name:20s} {rate * 100:5.1f}% of attacks detected")
+    for spec in specs:
+        rate = report.detection_rate(spec.name)
+        print(f"  {spec.name:20s} {rate * 100:5.1f}% of attacks detected")
 
     failures = report.security_failures()
     uid_failures = [o for o in failures if o.configuration == "2-variant-uid"]

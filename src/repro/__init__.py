@@ -11,6 +11,9 @@ The package is organised as the paper's system is layered:
   reexpression functions, variations, lockstep engine, monitor, wrappers.
 * :mod:`repro.engine` -- the concurrent multi-session execution engine:
   resumable lockstep sessions and the cooperative round-robin scheduler.
+* :mod:`repro.api` -- the declarative scenario layer: JSON-round-trippable
+  system/fleet specs, the variation registry, the builders that are the only
+  supported construction path, and the unified campaign runner.
 * :mod:`repro.transform` -- mini-C source-to-source UID transformation
   (Section 3.3 / Section 4 change accounting).
 * :mod:`repro.apps` -- the mini Apache case-study server and the
@@ -18,8 +21,58 @@ The package is organised as the paper's system is layered:
 * :mod:`repro.attacks` -- the attack library and campaign runner.
 * :mod:`repro.analysis` -- virtual-time performance model, metrics, and one
   experiment driver per paper table/figure.
+
+The documented import path for the scenario API is this top-level package::
+
+    from repro import SystemSpec, FleetSpec, build_system, build_engine, registry
+
+``python -m repro run scenario.json`` drives the same API from the shell.
 """
 
 from repro._version import __version__
+from repro.api import (
+    ADDRESS_PARTITIONING_SPEC,
+    ADDRESS_UID_SPEC,
+    CampaignReport,
+    FleetSpec,
+    SINGLE_PROCESS_SPEC,
+    STANDARD_SYSTEM_SPECS,
+    SystemSpec,
+    UID_DIVERSITY_SPEC,
+    UnknownVariationError,
+    VariationParameterError,
+    VariationRegistry,
+    VariationSpec,
+    WorkloadSpec,
+    build_engine,
+    build_session,
+    build_system,
+    build_variations,
+    registry,
+    run_attack,
+    run_campaign,
+)
 
-__all__ = ["__version__"]
+__all__ = [
+    "ADDRESS_PARTITIONING_SPEC",
+    "ADDRESS_UID_SPEC",
+    "CampaignReport",
+    "FleetSpec",
+    "SINGLE_PROCESS_SPEC",
+    "STANDARD_SYSTEM_SPECS",
+    "SystemSpec",
+    "UID_DIVERSITY_SPEC",
+    "UnknownVariationError",
+    "VariationParameterError",
+    "VariationRegistry",
+    "VariationSpec",
+    "WorkloadSpec",
+    "__version__",
+    "build_engine",
+    "build_session",
+    "build_system",
+    "build_variations",
+    "registry",
+    "run_attack",
+    "run_campaign",
+]

@@ -26,13 +26,12 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_key_values
+from repro.api.builders import build_system
+from repro.api.spec import SystemSpec, UID_DIVERSITY_SPEC, VariationSpec
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
-from repro.attacks.payloads import benign_request, uid_overwrite_payload
-from repro.apps.httpd.server import make_httpd_factory
-from repro.core.nvariant import NVariantSystem
 from repro.core.reexpression import sample_domain
 from repro.core.variations.uid import FullFlipUIDVariation, UIDVariation
-from repro.kernel.host import HTTP_PORT, build_standard_host
+from repro.kernel.host import build_standard_host
 
 
 # ---------------------------------------------------------------------------
@@ -129,13 +128,12 @@ def _latency_probe_factory(*, use_detection_calls: bool, user_space_uses: int):
 
 def _latency_rounds(*, use_detection_calls: bool, user_space_uses: int) -> int | None:
     kernel = build_standard_host()
-    system = NVariantSystem(
+    system = build_system(
+        UID_DIVERSITY_SPEC,
         kernel,
         _latency_probe_factory(
             use_detection_calls=use_detection_calls, user_space_uses=user_space_uses
         ),
-        [UIDVariation()],
-        num_variants=2,
         name="ablation1",
     )
     result = system.run()
@@ -205,10 +203,11 @@ def run_mask_ablation(requests: int = 4) -> MaskAblationResult:
     workload = WebBenchWorkload(total_requests=requests)
 
     paper_measurement, paper_result = drive_nvariant(
-        workload, [UIDVariation()], transformed=True, configuration="mask-paper"
+        workload, UID_DIVERSITY_SPEC.with_name("mask-paper")
     )
     full_measurement, full_result = drive_nvariant(
-        workload, [FullFlipUIDVariation()], transformed=True, configuration="mask-full-flip"
+        workload,
+        SystemSpec(name="mask-full-flip", variations=(VariationSpec("uid-full-flip"),)),
     )
 
     # Analytical blind-spot check: corrupt only the sign bit with the same

@@ -15,14 +15,14 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_table
+from repro.api.campaign import CampaignReport, run_campaign
+from repro.api.spec import (
+    ADDRESS_PARTITIONING_SPEC,
+    SINGLE_PROCESS_SPEC,
+    UID_DIVERSITY_SPEC,
+)
 from repro.attacks.code_injection import run_code_injection_tagged, run_code_injection_untagged
 from repro.attacks.outcomes import AttackOutcome, OutcomeKind
-from repro.attacks.runner import (
-    CampaignConfiguration,
-    CampaignReport,
-    run_address_campaign,
-    run_uid_campaign,
-)
 
 #: Attacks whose detection the paper explicitly does NOT promise (bit-granular
 #: corruptions: the sign bit is outside the 31-bit mask, and identical XOR
@@ -118,16 +118,15 @@ class DetectionMatrixResult:
 
 def run() -> DetectionMatrixResult:
     """Run the full detection matrix."""
-    from repro.core.variations.uid import UIDVariation
+    from repro.attacks.memory_attacks import standard_address_attacks
+    from repro.attacks.uid_attacks import standard_uid_attacks
 
-    configurations = (
-        CampaignConfiguration(name="single-process", redundant=False, transformed=False),
-        CampaignConfiguration(
-            name="2-variant-uid", redundant=True, variations=(UIDVariation,), transformed=True
-        ),
+    uid_report = run_campaign(
+        (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC), standard_uid_attacks()
     )
-    uid_report = run_uid_campaign(configurations=configurations)
-    address_report = run_address_campaign()
+    address_report = run_campaign(
+        (SINGLE_PROCESS_SPEC, ADDRESS_PARTITIONING_SPEC), standard_address_attacks()
+    )
     code_outcomes = [run_code_injection_untagged(), run_code_injection_tagged()]
     return DetectionMatrixResult(
         uid_report=uid_report,

@@ -14,6 +14,8 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_key_values
+from repro.api.spec import ADDRESS_PARTITIONING_SPEC
+from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
 from repro.attacks.memory_attacks import (
     run_address_attack_nvariant,
     run_address_attack_single,
@@ -21,8 +23,6 @@ from repro.attacks.memory_attacks import (
 )
 from repro.attacks.outcomes import AttackOutcome
 from repro.core.properties import EquivalenceVerdict, check_normal_equivalence
-from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
-from repro.core.variations.address import AddressPartitioning
 
 
 @dataclasses.dataclass
@@ -59,15 +59,13 @@ def run(benign_requests: int = 8) -> Figure1Result:
 
     def run_benign():
         _, result = drive_nvariant(
-            workload, [AddressPartitioning()], transformed=False, configuration="figure1-benign"
+            workload, ADDRESS_PARTITIONING_SPEC.with_name("figure1-benign")
         )
         return result
 
     measurement, _ = drive_nvariant(
         WebBenchWorkload(total_requests=benign_requests),
-        [AddressPartitioning()],
-        transformed=False,
-        configuration="figure1-benign-measure",
+        ADDRESS_PARTITIONING_SPEC.with_name("figure1-benign-measure"),
     )
     equivalence = check_normal_equivalence(run_benign)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_key_values
+from repro.api.spec import UID_DIVERSITY_SPEC
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
 from repro.core.pipeline import (
     DataDiversityPipeline,
@@ -90,11 +91,7 @@ def run() -> Figure2Result:
     kernel = build_standard_host()
     workload = WebBenchWorkload(total_requests=4)
     _, result = drive_nvariant(
-        workload,
-        [variation],
-        transformed=True,
-        kernel=kernel,
-        configuration="figure2",
+        workload, UID_DIVERSITY_SPEC.with_name("figure2"), kernel=kernel
     )
     uids = []
     for index in range(2):

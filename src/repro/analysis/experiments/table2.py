@@ -12,10 +12,11 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_table
+from repro.api.builders import build_system
+from repro.api.spec import UID_DIVERSITY_SPEC
 from repro.core.alarm import AlarmType
 from repro.core.detection_calls import TABLE2_DETECTION_CALLS, DetectionCallSpec
-from repro.core.nvariant import NVariantSystem, VariantContext
-from repro.core.variations.uid import UIDVariation
+from repro.core.nvariant import VariantContext
 from repro.kernel.host import build_standard_host
 from repro.kernel.syscalls import Syscall
 
@@ -105,18 +106,18 @@ def run() -> Table2Result:
     """Run the Table 2 reproduction."""
     checks = []
     for spec in TABLE2_DETECTION_CALLS:
-        benign_system = NVariantSystem(
+        benign_system = build_system(
+            UID_DIVERSITY_SPEC,
             build_standard_host(),
             _probe_factory(spec.syscall, injected=False),
-            [UIDVariation()],
             name="table2-benign",
         )
         benign = benign_system.run()
 
-        attack_system = NVariantSystem(
+        attack_system = build_system(
+            UID_DIVERSITY_SPEC,
             build_standard_host(),
             _probe_factory(spec.syscall, injected=True),
-            [UIDVariation()],
             name="table2-attack",
         )
         attack = attack_system.run()

@@ -25,6 +25,7 @@ import dataclasses
 
 from repro.analysis.perfmodel import PerfPoint, PerformanceModel, percent_change
 from repro.analysis.tables import render_table
+from repro.api.spec import ADDRESS_PARTITIONING_SPEC, ADDRESS_UID_SPEC
 from repro.apps.clients.webbench import (
     SATURATED_WORKLOAD,
     UNSATURATED_WORKLOAD,
@@ -33,8 +34,6 @@ from repro.apps.clients.webbench import (
     drive_nvariant,
     drive_standalone,
 )
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.uid import UIDVariation
 
 #: Paper values for side-by-side comparison: configuration -> load -> metrics.
 PAPER_TABLE3 = {
@@ -179,17 +178,11 @@ def run(
         ("2-transformed", drive_standalone(base_workload, transformed=True, configuration="2-transformed"))
     )
     m3, _ = drive_nvariant(
-        base_workload,
-        [AddressPartitioning()],
-        transformed=False,
-        configuration="3-2variant-address",
+        base_workload, ADDRESS_PARTITIONING_SPEC.with_name("3-2variant-address")
     )
     measurements.append(("3-2variant-address", m3))
     m4, _ = drive_nvariant(
-        base_workload,
-        [AddressPartitioning(), UIDVariation()],
-        transformed=True,
-        configuration="4-2variant-uid",
+        base_workload, ADDRESS_UID_SPEC.with_name("4-2variant-uid")
     )
     measurements.append(("4-2variant-uid", m4))
 

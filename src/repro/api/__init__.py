@@ -1,0 +1,82 @@
+"""Declarative scenario API: specs, the variation registry, builders, campaigns.
+
+This package separates the *policy description* from the *execution engine*
+(the split Section 3 of the paper implies): a scenario is data -- a
+:class:`~repro.api.spec.SystemSpec` or :class:`~repro.api.spec.FleetSpec`
+that round-trips through JSON -- and the builders are the single construction
+path from that data to running :class:`~repro.core.nvariant.NVariantSystem` /
+:class:`~repro.engine.scheduler.MultiSessionEngine` machinery.
+
+Typical use::
+
+    from repro import SystemSpec, VariationSpec, build_system, run_campaign
+
+    spec = SystemSpec(name="2-variant-uid", variations=(VariationSpec("uid"),))
+    report = run_campaign([spec])                    # attacks x specs
+    system = build_system(spec, kernel, factory)     # one concrete system
+
+``python -m repro run scenario.json`` drives the same API from the command
+line, so new scenarios require no code at all.
+"""
+
+from repro.api.builders import (
+    build_engine,
+    build_session,
+    build_system,
+    build_variations,
+)
+from repro.api.campaign import (
+    CampaignReport,
+    attacks_by_name,
+    run_attack,
+    run_campaign,
+    standard_attacks,
+)
+from repro.api.registry import (
+    RegisteredVariation,
+    UnknownVariationError,
+    VariationParameterError,
+    VariationRegistry,
+    VariationRegistryError,
+    registry,
+)
+from repro.api.spec import (
+    ADDRESS_PARTITIONING_SPEC,
+    ADDRESS_UID_SPEC,
+    FLEET_HALT_POLICIES,
+    FleetSpec,
+    SINGLE_PROCESS_SPEC,
+    STANDARD_SYSTEM_SPECS,
+    SystemSpec,
+    UID_DIVERSITY_SPEC,
+    VariationSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ADDRESS_PARTITIONING_SPEC",
+    "ADDRESS_UID_SPEC",
+    "CampaignReport",
+    "FLEET_HALT_POLICIES",
+    "FleetSpec",
+    "RegisteredVariation",
+    "SINGLE_PROCESS_SPEC",
+    "STANDARD_SYSTEM_SPECS",
+    "SystemSpec",
+    "UID_DIVERSITY_SPEC",
+    "UnknownVariationError",
+    "VariationParameterError",
+    "VariationRegistry",
+    "VariationRegistryError",
+    "VariationSpec",
+    "WorkloadSpec",
+    "attacks_by_name",
+    "build_engine",
+    "build_session",
+    "build_system",
+    "build_variations",
+    "registry",
+    "run_attack",
+    "run_campaign",
+    "standard_attacks",
+]

@@ -1,0 +1,137 @@
+"""The unified campaign runner: attacks x system specs, one loop.
+
+The seed repository grew one ad-hoc campaign per attack family
+(``run_uid_campaign``, ``run_address_campaign``), each hand-wiring its own
+configurations.  With systems described by :class:`~repro.api.spec.SystemSpec`
+there is a single cross product left to run: :func:`run_campaign` takes any
+mix of attacks from the library and any list of system specs, dispatches each
+pair to the right driver and collects one :class:`CampaignReport`.  The legacy
+campaign entry points live on in :mod:`repro.attacks.runner` as deprecation
+shims over this function.
+
+Attack drivers are imported lazily inside the dispatch functions: the attack
+modules themselves build their systems through :mod:`repro.api.builders`, so a
+module-level import in either direction would be circular.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.api.spec import (
+    ADDRESS_PARTITIONING_SPEC,
+    SINGLE_PROCESS_SPEC,
+    STANDARD_SYSTEM_SPECS,
+    SystemSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
+    from repro.attacks.memory_attacks import AddressInjectionAttack
+    from repro.attacks.outcomes import AttackOutcome
+    from repro.attacks.uid_attacks import UIDAttack
+
+    Attack = UIDAttack | AddressInjectionAttack
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """All outcomes from one campaign plus summary helpers."""
+
+    outcomes: list["AttackOutcome"] = dataclasses.field(default_factory=list)
+
+    def add(self, outcome: "AttackOutcome") -> None:
+        """Append one outcome."""
+        self.outcomes.append(outcome)
+
+    def by_configuration(self, configuration: str) -> list["AttackOutcome"]:
+        """Outcomes recorded against *configuration*."""
+        return [o for o in self.outcomes if o.configuration == configuration]
+
+    def by_attack(self, attack: str) -> list["AttackOutcome"]:
+        """Outcomes recorded for *attack* across every configuration."""
+        return [o for o in self.outcomes if o.attack == attack]
+
+    def security_failures(self) -> list["AttackOutcome"]:
+        """Undetected compromises across the whole campaign."""
+        return [o for o in self.outcomes if o.is_security_failure]
+
+    def detection_rate(self, configuration: str) -> float:
+        """Fraction of attacks detected in *configuration*."""
+        from repro.attacks.outcomes import OutcomeKind
+
+        outcomes = self.by_configuration(configuration)
+        if not outcomes:
+            return 0.0
+        detected = sum(1 for o in outcomes if o.kind is OutcomeKind.DETECTED)
+        return detected / len(outcomes)
+
+    def matrix(self) -> dict[str, dict[str, str]]:
+        """``{attack: {configuration: outcome kind}}`` for table rendering."""
+        table: dict[str, dict[str, str]] = {}
+        for outcome in self.outcomes:
+            table.setdefault(outcome.attack, {})[outcome.configuration] = outcome.kind.value
+        return table
+
+    def describe(self) -> str:
+        """Multi-line report."""
+        lines = [o.describe() for o in self.outcomes]
+        failures = self.security_failures()
+        lines.append("")
+        lines.append(f"undetected compromises: {len(failures)}")
+        return "\n".join(lines)
+
+
+def standard_attacks() -> list["Attack"]:
+    """Every attack in the library's standard suites (UID + address)."""
+    from repro.attacks.memory_attacks import standard_address_attacks
+    from repro.attacks.uid_attacks import standard_uid_attacks
+
+    return [*standard_uid_attacks(), *standard_address_attacks()]
+
+
+def attacks_by_name() -> dict[str, "Attack"]:
+    """Name -> attack for every standard attack (the CLI's selection space)."""
+    return {attack.name: attack for attack in standard_attacks()}
+
+
+def run_attack(attack: "Attack", spec: SystemSpec) -> "AttackOutcome":
+    """Run one attack against one declaratively specified system."""
+    from repro.attacks.memory_attacks import (
+        AddressInjectionAttack,
+        run_address_attack_nvariant,
+        run_address_attack_single,
+    )
+    from repro.attacks.uid_attacks import UIDAttack, run_uid_attack
+
+    if isinstance(attack, UIDAttack):
+        return run_uid_attack(attack, spec)
+    if isinstance(attack, AddressInjectionAttack):
+        if not spec.redundant:
+            return run_address_attack_single(attack, configuration=spec.name)
+        return run_address_attack_nvariant(attack, spec)
+    raise TypeError(f"unknown attack type {type(attack).__name__}: cannot dispatch {attack!r}")
+
+
+def run_campaign(
+    specs: Sequence[SystemSpec] = STANDARD_SYSTEM_SPECS,
+    attacks: Optional[Iterable["Attack"]] = None,
+) -> CampaignReport:
+    """Run every attack against every system spec and collect the outcomes.
+
+    With no *attacks* the full standard suite (UID corruption plus address
+    injection) runs; pass a subset to focus a campaign.  Specs may carry any
+    registered variation stack -- this is the generic cross product the
+    detection-matrix experiment, the examples and the CLI all share.
+    """
+    selected = list(attacks) if attacks is not None else standard_attacks()
+    report = CampaignReport()
+    for attack in selected:
+        for spec in specs:
+            report.add(run_attack(attack, spec))
+    return report
+
+
+def run_address_campaign_specs() -> tuple[SystemSpec, SystemSpec]:
+    """The two configurations the Figure 1 address campaign compares."""
+    return (SINGLE_PROCESS_SPEC, ADDRESS_PARTITIONING_SPEC)

@@ -1,0 +1,261 @@
+"""``python -m repro``: run JSON scenarios against the scenario API.
+
+A scenario file is data, not code::
+
+    {
+      "scenario": "detection-matrix",
+      "systems": [ ...SystemSpec dicts... ],     // default: the standard four
+      "attacks": ["full-word-root-overwrite"],   // default: every standard attack
+      "output": "text"                           // or "json"
+    }
+
+    {
+      "scenario": "throughput",
+      "fleet": { ...FleetSpec dict... },
+      "output": "text"
+    }
+
+``repro run scenario.json`` executes one such file; ``repro variations``
+lists every registered variation a scenario may name.  Scenario problems
+(unknown keys, unknown variation or attack names, bad parameters) are
+reported as errors with the known alternatives, not tracebacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.api.campaign import CampaignReport, attacks_by_name, run_campaign
+from repro.api.registry import VariationRegistryError, registry
+from repro.api.spec import FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
+
+#: Output formats every scenario kind supports.
+OUTPUT_FORMATS = ("text", "json")
+
+
+class ScenarioError(ValueError):
+    """A scenario file could not be understood or resolved."""
+
+
+# ---------------------------------------------------------------------------
+# Scenario loading
+# ---------------------------------------------------------------------------
+
+
+def load_scenario(path: Path) -> dict[str, Any]:
+    """Read and minimally validate a scenario file."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"scenario file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, Mapping):
+        raise ScenarioError(f"scenario file {path} must hold a JSON object")
+    if "scenario" not in data:
+        raise ScenarioError(f"scenario file {path} needs a 'scenario' key")
+    return dict(data)
+
+
+def _resolve_output(data: Mapping[str, Any], override: Optional[str]) -> str:
+    output = override if override is not None else data.get("output", "text")
+    if output not in OUTPUT_FORMATS:
+        raise ScenarioError(
+            f"output must be one of {', '.join(OUTPUT_FORMATS)}, got {output!r}"
+        )
+    return output
+
+
+def _resolve_systems(data: Mapping[str, Any]) -> list[SystemSpec]:
+    if "systems" not in data:
+        return list(STANDARD_SYSTEM_SPECS)
+    try:
+        specs = [SystemSpec.from_dict(entry) for entry in data["systems"]]
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"bad system spec in scenario: {exc}") from exc
+    if not specs:
+        raise ScenarioError("'systems' must name at least one system spec")
+    return specs
+
+
+def _resolve_attacks(data: Mapping[str, Any]) -> Optional[list]:
+    if "attacks" not in data:
+        return None
+    known = attacks_by_name()
+    selected = []
+    for name in data["attacks"]:
+        if name not in known:
+            raise ScenarioError(
+                f"unknown attack {name!r}; known attacks: {', '.join(sorted(known))}"
+            )
+        selected.append(known[name])
+    if not selected:
+        raise ScenarioError("'attacks' must name at least one attack")
+    return selected
+
+
+# ---------------------------------------------------------------------------
+# Scenario kinds
+# ---------------------------------------------------------------------------
+
+
+def _format_matrix_text(report: CampaignReport, specs: Sequence[SystemSpec]) -> str:
+    from repro.analysis.tables import render_table
+
+    matrix = report.matrix()
+    configurations = [spec.name for spec in specs]
+    rows = [
+        [attack] + [matrix[attack].get(configuration, "-") for configuration in configurations]
+        for attack in matrix
+    ]
+    table = render_table(["attack"] + configurations, rows, title="Detection matrix")
+    lines = [table, ""]
+    for configuration in configurations:
+        rate = report.detection_rate(configuration)
+        lines.append(f"  {configuration:24s} {rate * 100:5.1f}% of attacks detected")
+    lines.append("")
+    lines.append(f"undetected compromises: {len(report.security_failures())}")
+    return "\n".join(lines)
+
+
+def _run_detection_matrix(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+    specs = _resolve_systems(data)
+    attacks = _resolve_attacks(data)
+    report = run_campaign(specs, attacks)
+    if output == "json":
+        payload = {
+            "scenario": "detection-matrix",
+            "systems": [spec.to_dict() for spec in specs],
+            "matrix": report.matrix(),
+            "detection_rates": {
+                spec.name: report.detection_rate(spec.name) for spec in specs
+            },
+            "undetected_compromises": [
+                {"attack": o.attack, "configuration": o.configuration}
+                for o in report.security_failures()
+            ],
+        }
+        return 0, json.dumps(payload, indent=2)
+    return 0, _format_matrix_text(report, specs)
+
+
+def _run_throughput(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+    from repro.apps.clients.webbench import drive_engine
+
+    if "fleet" not in data:
+        raise ScenarioError("throughput scenarios need a 'fleet' spec")
+    try:
+        fleet = FleetSpec.from_dict(data["fleet"])
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"bad fleet spec in scenario: {exc}") from exc
+    measurement = drive_engine(fleet)
+    if output == "json":
+        payload = {
+            "scenario": "throughput",
+            "fleet": fleet.to_dict(),
+            "requests_sent": measurement.requests_sent,
+            "requests_completed": measurement.requests_completed,
+            "alarms": measurement.alarms,
+            "virtual_elapsed": measurement.virtual_elapsed,
+            "virtual_elapsed_sequential": measurement.virtual_elapsed_sequential,
+            "requests_per_kilotick": measurement.requests_per_kilotick(),
+            "speedup": measurement.speedup(),
+        }
+        return 0, json.dumps(payload, indent=2)
+    lines = [
+        f"fleet: {fleet.name} ({fleet.num_sessions} sessions x "
+        f"{fleet.system.num_variants} variants, halt policy {fleet.halt_policy})",
+        f"requests: {measurement.requests_completed}/{measurement.requests_sent} completed, "
+        f"{measurement.alarms} alarms",
+        f"virtual elapsed: {measurement.virtual_elapsed} ticks concurrent, "
+        f"{measurement.virtual_elapsed_sequential} sequential",
+        f"throughput: {measurement.requests_per_kilotick():.2f} req/ktick "
+        f"({measurement.speedup():.2f}x over sequential)",
+    ]
+    return 0, "\n".join(lines)
+
+
+#: Runner plus the top-level keys each scenario kind accepts ("scenario",
+#: "description" and "output" are always allowed).
+SCENARIO_RUNNERS = {
+    "detection-matrix": (_run_detection_matrix, frozenset({"systems", "attacks"})),
+    "throughput": (_run_throughput, frozenset({"fleet"})),
+}
+
+_COMMON_SCENARIO_KEYS = frozenset({"scenario", "description", "output"})
+
+
+def run_scenario(data: Mapping[str, Any], *, output: Optional[str] = None) -> tuple[int, str]:
+    """Execute one loaded scenario; returns ``(exit_code, rendered output)``."""
+    kind = data["scenario"]
+    entry = SCENARIO_RUNNERS.get(kind)
+    if entry is None:
+        raise ScenarioError(
+            f"unknown scenario kind {kind!r}; known kinds: "
+            f"{', '.join(sorted(SCENARIO_RUNNERS))}"
+        )
+    runner, kind_keys = entry
+    allowed = _COMMON_SCENARIO_KEYS | kind_keys
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ScenarioError(
+            f"unknown {kind} scenario keys: {', '.join(unknown)}; expected a subset of "
+            f"{', '.join(sorted(allowed))}"
+        )
+    resolved_output = _resolve_output(data, output)
+    return runner(data, resolved_output)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _command_variations() -> int:
+    rows = registry.describe()
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        parameters = f" (params: {row['parameters']})" if row["parameters"] else ""
+        print(f"  {row['name']:<{width}}  {row['description']}{parameters}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """The ``python -m repro`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run declarative N-variant scenarios (see examples/scenarios/).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run a scenario JSON file")
+    run_parser.add_argument("scenario", type=Path, help="path to the scenario JSON file")
+    run_parser.add_argument(
+        "--output",
+        choices=OUTPUT_FORMATS,
+        default=None,
+        help="override the scenario file's output format",
+    )
+
+    subparsers.add_parser("variations", help="list registered variations")
+
+    arguments = parser.parse_args(argv)
+    if arguments.command == "variations":
+        return _command_variations()
+
+    try:
+        data = load_scenario(arguments.scenario)
+        exit_code, rendered = run_scenario(data, output=arguments.output)
+    except (ScenarioError, VariationRegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(rendered)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

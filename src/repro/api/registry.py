@@ -1,0 +1,209 @@
+"""Named, parameterised factories for variations.
+
+The declarative scenario layer refers to variations *by name*: a
+:class:`~repro.api.spec.SystemSpec` carries ``("uid", {"mask": ...})`` rather
+than a class object, so scenarios can live in JSON files and travel between
+processes.  The registry is the resolver: it maps a stable public name (plus
+the variation's historical ``Variation.name`` as an alias) to a factory that
+builds a *fresh* instance per call -- sessions must never share variation
+instances, which is why builders always go through :meth:`VariationRegistry.create`
+instead of caching objects.
+
+The default :data:`registry` is pre-populated with every Table 1 variation;
+new diversity techniques register themselves once and immediately become
+expressible in every campaign, benchmark and CLI scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+from repro.core.variations.address import AddressPartitioning, ExtendedAddressPartitioning
+from repro.core.variations.base import Variation
+from repro.core.variations.instruction import InstructionSetTagging
+from repro.core.variations.uid import FullFlipUIDVariation, UIDVariation
+
+
+class VariationRegistryError(ValueError):
+    """Base class for registry resolution failures."""
+
+
+class UnknownVariationError(VariationRegistryError):
+    """A spec named a variation the registry does not know."""
+
+    def __init__(self, name: str, known: list[str]):
+        super().__init__(
+            f"unknown variation {name!r}; registered variations: {', '.join(known) or '(none)'}"
+        )
+        self.name = name
+        self.known = known
+
+
+class VariationParameterError(VariationRegistryError):
+    """A spec's parameters were rejected by the variation's factory."""
+
+    def __init__(self, name: str, params: Mapping[str, Any], reason: str):
+        super().__init__(f"bad parameters for variation {name!r} ({dict(params)!r}): {reason}")
+        self.name = name
+        self.params = dict(params)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredVariation:
+    """One registry entry: the public name, its factory and documentation."""
+
+    name: str
+    factory: Callable[..., Variation]
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+    def parameters(self) -> list[str]:
+        """The factory's accepted parameter names (for CLI listings)."""
+        try:
+            signature = inspect.signature(self.factory)
+        except (TypeError, ValueError):
+            return []
+        return [
+            parameter.name
+            for parameter in signature.parameters.values()
+            if parameter.kind
+            in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            )
+        ]
+
+
+class VariationRegistry:
+    """Resolves variation names (and aliases) to fresh variation instances."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredVariation] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., Variation],
+        *,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+    ) -> RegisteredVariation:
+        """Register *factory* under *name* (and optional aliases).
+
+        Re-registering a name replaces the entry, so tests can shadow a
+        variation in a scratch registry without mutating class state.
+        """
+        entry = RegisteredVariation(
+            name=name, factory=factory, description=description, aliases=tuple(aliases)
+        )
+        self._entries[name] = entry
+        for alias in entry.aliases:
+            self._aliases[alias] = name
+        return entry
+
+    # -- resolution ------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """The registered public names, sorted."""
+        return sorted(self._entries)
+
+    def get(self, name: str) -> RegisteredVariation:
+        """Resolve *name* (or an alias) to its entry."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._entries[canonical]
+        except KeyError:
+            raise UnknownVariationError(name, self.names()) from None
+
+    def create(self, name: str, params: Optional[Mapping[str, Any]] = None) -> Variation:
+        """Build a fresh variation instance from a name and parameters."""
+        entry = self.get(name)
+        kwargs = dict(params or {})
+        try:
+            variation = entry.factory(**kwargs)
+        except (TypeError, ValueError) as exc:
+            raise VariationParameterError(entry.name, kwargs, str(exc)) from exc
+        if not isinstance(variation, Variation):
+            raise VariationParameterError(
+                entry.name, kwargs, f"factory returned {type(variation).__name__}, not a Variation"
+            )
+        return variation
+
+    def name_of(self, factory: Callable[..., Variation]) -> str:
+        """The registered public name whose factory is *factory*.
+
+        Used by the deprecation shim to translate legacy variation *classes*
+        into spec names; falls back to the class's own ``name`` attribute when
+        that is a registered alias.
+        """
+        for entry in self._entries.values():
+            if entry.factory is factory:
+                return entry.name
+        class_name = getattr(factory, "name", None)
+        if isinstance(class_name, str) and (
+            class_name in self._entries or class_name in self._aliases
+        ):
+            return self._aliases.get(class_name, class_name)
+        raise UnknownVariationError(getattr(factory, "__name__", repr(factory)), self.names())
+
+    def describe(self) -> list[dict[str, str]]:
+        """Rows for the CLI's ``variations`` listing."""
+        return [
+            {
+                "name": entry.name,
+                "aliases": ", ".join(entry.aliases),
+                "parameters": ", ".join(p for p in entry.parameters() if p != "num_variants"),
+                "description": entry.description,
+            }
+            for _, entry in sorted(self._entries.items())
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[RegisteredVariation]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The default registry: every Table 1 variation, under short stable names
+#: with the historical ``Variation.name`` values as aliases.
+registry = VariationRegistry()
+
+registry.register(
+    "uid",
+    UIDVariation,
+    description="UID data diversity: R_1 XORs uid_t values with a 31-bit mask (Section 3)",
+    aliases=("uid-variation",),
+)
+registry.register(
+    "uid-full-flip",
+    FullFlipUIDVariation,
+    description="Rejected Section 3.2 ablation: XOR 0xFFFFFFFF flips the sign bit too",
+    aliases=("uid-variation-full-flip",),
+)
+registry.register(
+    "address",
+    AddressPartitioning,
+    description="Disjoint high-bit address-space partitions (Cox et al. 2006)",
+    aliases=("address-partitioning",),
+)
+registry.register(
+    "address-extended",
+    ExtendedAddressPartitioning,
+    description="Partitioning plus a per-variant offset (Bruschi et al. 2007)",
+    aliases=("extended-address-partitioning",),
+)
+registry.register(
+    "instruction-tagging",
+    InstructionSetTagging,
+    description="Per-variant instruction tags checked before execution",
+    aliases=("instruction-set-tagging",),
+)

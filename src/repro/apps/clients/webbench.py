@@ -23,13 +23,14 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.api.builders import build_engine, build_session, build_system
+from repro.api.spec import FleetSpec, SystemSpec
 from repro.apps.httpd.http import format_request, split_responses
 from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
-from repro.core.nvariant import NVariantResult, NVariantSystem, UIDCodec
-from repro.core.variations.base import Variation
-from repro.engine import EngineResult, MultiSessionEngine, NVariantSession
+from repro.core.nvariant import NVariantResult, UIDCodec
+from repro.engine import EngineResult, NVariantSession
 from repro.kernel.host import DOCROOT, HTTP_PORT, build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
@@ -243,19 +244,16 @@ def drive_standalone(
 
 def drive_nvariant(
     workload: WebBenchWorkload,
-    variations: Sequence[Variation],
+    spec: SystemSpec,
     *,
-    transformed: bool = True,
-    num_variants: int = 2,
     multiplex: int = 1,
     kernel: Optional[SimulatedKernel] = None,
-    configuration: str = "nvariant",
 ) -> tuple[WorkloadMeasurement, NVariantResult]:
-    """Run the workload against an N-variant server configuration.
+    """Run the workload against a declaratively specified N-variant server.
 
-    ``variations=[AddressPartitioning()], transformed=False`` reproduces
-    Configuration 3 of Table 3; adding ``UIDVariation()`` with
-    ``transformed=True`` reproduces Configuration 4.
+    ``ADDRESS_PARTITIONING_SPEC`` reproduces Configuration 3 of Table 3;
+    ``ADDRESS_UID_SPEC`` reproduces Configuration 4.  The spec's ``name`` is
+    the measurement's configuration label.
     """
     kernel = kernel if kernel is not None else build_standard_host()
     for payload in workload.connection_payloads():
@@ -263,14 +261,12 @@ def drive_nvariant(
 
     servers: list[MiniHttpd] = []
     factory = make_httpd_factory(
-        transformed=transformed,
+        transformed=spec.transformed,
         max_requests=workload.total_requests,
         multiplex=multiplex,
         servers=servers,
     )
-    system = NVariantSystem(
-        kernel, factory, list(variations), num_variants=num_variants, name="httpd"
-    )
+    system = build_system(spec, kernel, factory, name="httpd")
     result = system.run()
 
     completed, statuses, body_bytes = _collect_responses(kernel)
@@ -279,8 +275,8 @@ def drive_nvariant(
         for name in ("uid_value", "cond_chk", "cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq")
     )
     measurement = WorkloadMeasurement(
-        configuration=configuration,
-        num_variants=num_variants,
+        configuration=spec.name,
+        num_variants=spec.num_variants,
         requests_sent=workload.total_requests,
         requests_completed=completed,
         status_counts=statuses,
@@ -348,25 +344,21 @@ class EngineWorkloadMeasurement:
 
 
 def drive_engine(
-    workload: WebBenchWorkload,
-    variations_factory: Callable[[], Sequence[Variation]],
-    *,
-    num_sessions: int,
-    transformed: bool = True,
-    num_variants: int = 2,
-    multiplex: int = 1,
-    configuration: str = "engine",
+    fleet: FleetSpec, *, workload: Optional[WebBenchWorkload] = None
 ) -> EngineWorkloadMeasurement:
-    """Split the workload over *num_sessions* concurrent N-variant replicas.
+    """Drive the fleet a :class:`~repro.api.spec.FleetSpec` describes.
 
-    Each session runs the full N-variant mini-httpd on its own simulated host
-    (a sharded fleet behind a load balancer), and the cooperative scheduler
-    interleaves their lockstep rounds.  ``variations_factory`` builds a fresh
-    variation list per session so no per-host state is shared.
+    The fleet's workload shape is expanded into a WebBench workload and split
+    over ``fleet.num_sessions`` concurrent N-variant replicas, each running
+    the full mini-httpd on its own simulated host (a sharded fleet behind a
+    load balancer) with lockstep rounds interleaved by the cooperative
+    scheduler.  Sessions are built fresh from ``fleet.system`` per shard, so
+    no per-host state is shared.  Pass *workload* to override the expanded
+    request sequence (e.g. a custom mix) while keeping the fleet shape.
     """
-    if num_sessions < 1:
-        raise ValueError("num_sessions must be at least 1")
-    shards = workload.split(num_sessions)
+    if workload is None:
+        workload = WebBenchWorkload(**fleet.workload.to_dict())
+    shards = workload.split(fleet.num_sessions)
     kernels: list[SimulatedKernel] = []
     sessions: list[NVariantSession] = []
     for index, shard in enumerate(shards):
@@ -375,19 +367,15 @@ def drive_engine(
             kernel.client_connect(HTTP_PORT, payload)
         kernels.append(kernel)
         factory = make_httpd_factory(
-            transformed=transformed, max_requests=shard.total_requests, multiplex=multiplex
+            transformed=fleet.system.transformed,
+            max_requests=shard.total_requests,
+            multiplex=fleet.multiplex,
         )
         sessions.append(
-            NVariantSession(
-                kernel,
-                factory,
-                list(variations_factory()),
-                num_variants=num_variants,
-                name=f"{configuration}-s{index}",
-            )
+            build_session(fleet.system, kernel, factory, name=f"{fleet.name}-s{index}")
         )
 
-    engine = MultiSessionEngine(sessions, name=configuration)
+    engine = build_engine(fleet, sessions)
     engine_result = engine.run()
 
     completed = 0
@@ -399,8 +387,8 @@ def drive_engine(
             statuses[status] = statuses.get(status, 0) + count
 
     return EngineWorkloadMeasurement(
-        configuration=configuration,
-        num_sessions=num_sessions,
+        configuration=fleet.name,
+        num_sessions=fleet.num_sessions,
         requests_sent=workload.total_requests,
         requests_completed=completed,
         status_counts=statuses,

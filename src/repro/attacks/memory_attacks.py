@@ -18,15 +18,14 @@ when the attacker preserves the high byte.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
 
+from repro.api.builders import build_system
+from repro.api.spec import ADDRESS_PARTITIONING_SPEC, SystemSpec
 from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
 from repro.apps.httpd.vulnerable import BANNER_REGION_BASE
 from repro.attacks.outcomes import AttackOutcome, classify
 from repro.attacks.payloads import banner_pointer_payload, benign_request
-from repro.core.nvariant import NVariantSystem, UIDCodec
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.base import Variation
+from repro.core.nvariant import UIDCodec
 from repro.kernel.host import HTTP_PORT, build_standard_host
 from repro.kernel.libc import Libc
 from repro.kernel.scheduler import ProgramRunner
@@ -66,7 +65,9 @@ def standard_address_attacks() -> list[AddressInjectionAttack]:
     ]
 
 
-def run_address_attack_single(attack: AddressInjectionAttack) -> AttackOutcome:
+def run_address_attack_single(
+    attack: AddressInjectionAttack, *, configuration: str = "single-process"
+) -> AttackOutcome:
     """Run the attack against the single-process server."""
     kernel = build_standard_host()
     kernel.client_connect(HTTP_PORT, benign_request())
@@ -86,7 +87,7 @@ def run_address_attack_single(attack: AddressInjectionAttack) -> AttackOutcome:
     crashed = not result.exited_normally
     return AttackOutcome(
         attack=attack.name,
-        configuration="single-process",
+        configuration=configuration,
         kind=classify(goal_reached=goal, detected=False, crashed=crashed),
         goal_reached=goal,
         detected=False,
@@ -96,33 +97,29 @@ def run_address_attack_single(attack: AddressInjectionAttack) -> AttackOutcome:
 
 def run_address_attack_nvariant(
     attack: AddressInjectionAttack,
-    variations: Sequence[Variation] | None = None,
-    *,
-    transformed: bool = False,
-    configuration: str = "2-variant-address",
+    spec: SystemSpec = ADDRESS_PARTITIONING_SPEC,
 ) -> AttackOutcome:
-    """Run the attack against an N-variant configuration.
+    """Run the attack against a declaratively specified N-variant system.
 
-    Defaults reproduce the address-partitioned 2-variant system of Figure 1;
-    pass ``transformed=True`` whenever the variation list contains the UID
-    variation, since the untransformed server diverges on benign traffic
-    under diversified UID representations.
+    The default spec reproduces the address-partitioned 2-variant system of
+    Figure 1; any spec whose stack contains the UID variation must set
+    ``transformed=True``, since the untransformed server diverges on benign
+    traffic under diversified UID representations.
     """
-    variations = list(variations) if variations is not None else [AddressPartitioning()]
     kernel = build_standard_host()
     kernel.client_connect(HTTP_PORT, benign_request())
     kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
     kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
 
-    factory = make_httpd_factory(transformed=transformed, max_requests=3)
-    system = NVariantSystem(kernel, factory, variations, num_variants=2, name="httpd")
+    factory = make_httpd_factory(transformed=spec.transformed, max_requests=3)
+    system = build_system(spec, kernel, factory, name="httpd")
     result = system.run()
 
     detected = result.attack_detected
     goal = not detected and all(v.exited_normally for v in result.variants)
     return AttackOutcome(
         attack=attack.name,
-        configuration=configuration,
+        configuration=spec.name,
         kind=classify(goal_reached=goal, detected=detected),
         goal_reached=goal,
         detected=detected,

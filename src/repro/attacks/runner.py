@@ -1,56 +1,115 @@
-"""Attack campaign runner: every attack against every configuration.
+"""Deprecated campaign entry points, shimmed over :mod:`repro.api.campaign`.
 
-The detection-matrix experiment (and the EXPERIMENTS.md security table) needs
-a cross product: each attack from the library run against the configurations
-of interest, with the outcome classified.  This module provides that loop and
-a small report structure the benchmarks and docs can render.
+Historically this module owned the campaign loop and a
+:class:`CampaignConfiguration` record holding a bare tuple of variation
+*classes*.  The declarative scenario API replaced both: systems are described
+by :class:`~repro.api.spec.SystemSpec` (variations by registry name, JSON
+round-trippable) and :func:`repro.api.campaign.run_campaign` runs any
+attacks-x-specs cross product.  The legacy campaign entry points
+(:class:`CampaignConfiguration`, :data:`STANDARD_CONFIGURATIONS`,
+:func:`run_uid_campaign`, :func:`run_address_campaign`) survive for one
+release as a thin translation layer, each emitting a
+:class:`DeprecationWarning` pointing at its replacement; the attack-driver
+and report names this module historically re-exported remain importable from
+here, though the drivers themselves are now spec-based.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Sequence
+import warnings
+from typing import Optional, Sequence
 
-from repro.attacks.memory_attacks import (
+from repro.api.campaign import CampaignReport, run_campaign
+from repro.api.registry import registry
+from repro.api.spec import SystemSpec, VariationSpec
+from repro.attacks.memory_attacks import (  # noqa: F401  (legacy re-exports)
     AddressInjectionAttack,
     run_address_attack_nvariant,
     run_address_attack_single,
     standard_address_attacks,
 )
-from repro.attacks.outcomes import AttackOutcome, OutcomeKind
-from repro.attacks.uid_attacks import UIDAttack, run_uid_attack, standard_uid_attacks
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind  # noqa: F401
+from repro.attacks.uid_attacks import (  # noqa: F401  (legacy re-exports)
+    UIDAttack,
+    run_uid_attack,
+    standard_uid_attacks,
+)
 from repro.core.variations.address import AddressPartitioning
+from repro.core.variations.base import Variation
 from repro.core.variations.uid import UIDVariation
 
 
 @dataclasses.dataclass(frozen=True)
 class CampaignConfiguration:
-    """One defended (or undefended) configuration to attack."""
+    """One defended (or undefended) configuration to attack.
+
+    .. deprecated::
+        Use :class:`repro.api.spec.SystemSpec` -- it names variations through
+        the registry (so configurations are serialisable data) instead of
+        carrying class objects.  :meth:`to_spec` performs the translation.
+    """
 
     name: str
     redundant: bool
-    variations: tuple = ()
+    variations: tuple[type[Variation], ...] = ()
     transformed: bool = True
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "CampaignConfiguration is deprecated; describe configurations with "
+            "repro.api.SystemSpec (variations by registry name) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        for cls in self.variations:
+            if not (isinstance(cls, type) and issubclass(cls, Variation)):
+                raise TypeError(
+                    f"CampaignConfiguration.variations must be Variation subclasses, "
+                    f"got {cls!r}"
+                )
+
+    def to_spec(self) -> SystemSpec:
+        """The equivalent :class:`~repro.api.spec.SystemSpec`."""
+        return SystemSpec(
+            name=self.name,
+            num_variants=2 if self.redundant else 1,
+            variations=tuple(
+                VariationSpec(registry.name_of(cls)) for cls in self.variations
+            ),
+            transformed=self.transformed,
+        )
+
+
+def _quiet_configuration(**kwargs) -> CampaignConfiguration:
+    """Build a legacy configuration without the deprecation warning.
+
+    Used only for the module-level STANDARD_CONFIGURATIONS constant, so that
+    merely importing this shim stays silent; *using* the legacy API warns.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return CampaignConfiguration(**kwargs)
 
 
 #: The configurations the detection matrix compares, mirroring the paper's
-#: narrative: an undefended server, the address-partitioning baseline and the
-#: UID data-diversity system.
+#: narrative.  Deprecated alongside the class; the spec-based equivalent is
+#: :data:`repro.api.spec.STANDARD_SYSTEM_SPECS`.
 STANDARD_CONFIGURATIONS: tuple[CampaignConfiguration, ...] = (
-    CampaignConfiguration(name="single-process", redundant=False, transformed=False),
-    CampaignConfiguration(
+    _quiet_configuration(name="single-process", redundant=False, transformed=False),
+    _quiet_configuration(
         name="2-variant-address",
         redundant=True,
         variations=(AddressPartitioning,),
         transformed=False,
     ),
-    CampaignConfiguration(
+    _quiet_configuration(
         name="2-variant-uid",
         redundant=True,
         variations=(UIDVariation,),
         transformed=True,
     ),
-    CampaignConfiguration(
+    _quiet_configuration(
         name="2-variant-address+uid",
         redundant=True,
         variations=(AddressPartitioning, UIDVariation),
@@ -59,76 +118,40 @@ STANDARD_CONFIGURATIONS: tuple[CampaignConfiguration, ...] = (
 )
 
 
-@dataclasses.dataclass
-class CampaignReport:
-    """All outcomes from one campaign plus summary helpers."""
-
-    outcomes: list[AttackOutcome] = dataclasses.field(default_factory=list)
-
-    def add(self, outcome: AttackOutcome) -> None:
-        """Append one outcome."""
-        self.outcomes.append(outcome)
-
-    def by_configuration(self, configuration: str) -> list[AttackOutcome]:
-        """Outcomes recorded against *configuration*."""
-        return [o for o in self.outcomes if o.configuration == configuration]
-
-    def security_failures(self) -> list[AttackOutcome]:
-        """Undetected compromises across the whole campaign."""
-        return [o for o in self.outcomes if o.is_security_failure]
-
-    def detection_rate(self, configuration: str) -> float:
-        """Fraction of attacks detected in *configuration*."""
-        outcomes = self.by_configuration(configuration)
-        if not outcomes:
-            return 0.0
-        detected = sum(1 for o in outcomes if o.kind is OutcomeKind.DETECTED)
-        return detected / len(outcomes)
-
-    def matrix(self) -> dict[str, dict[str, str]]:
-        """``{attack: {configuration: outcome kind}}`` for table rendering."""
-        table: dict[str, dict[str, str]] = {}
-        for outcome in self.outcomes:
-            table.setdefault(outcome.attack, {})[outcome.configuration] = outcome.kind.value
-        return table
-
-    def describe(self) -> str:
-        """Multi-line report."""
-        lines = [o.describe() for o in self.outcomes]
-        failures = self.security_failures()
-        lines.append("")
-        lines.append(f"undetected compromises: {len(failures)}")
-        return "\n".join(lines)
-
-
 def run_uid_campaign(
-    attacks: Sequence[UIDAttack] | None = None,
+    attacks: Optional[Sequence] = None,
     configurations: Sequence[CampaignConfiguration] = STANDARD_CONFIGURATIONS,
 ) -> CampaignReport:
-    """Run every UID attack against every configuration."""
-    attacks = list(attacks) if attacks is not None else standard_uid_attacks()
-    report = CampaignReport()
-    for attack in attacks:
-        for configuration in configurations:
-            variations = [cls() for cls in configuration.variations]
-            outcome = run_uid_attack(
-                attack,
-                redundant=configuration.redundant,
-                variations=variations,
-                transformed=configuration.transformed,
-                configuration=configuration.name,
-            )
-            report.add(outcome)
-    return report
+    """Run every UID attack against every configuration.
+
+    .. deprecated::
+        Use :func:`repro.api.campaign.run_campaign` with
+        :class:`~repro.api.spec.SystemSpec` configurations.
+    """
+    warnings.warn(
+        "run_uid_campaign is deprecated; use repro.api.run_campaign(specs, attacks)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    selected = list(attacks) if attacks is not None else standard_uid_attacks()
+    specs = [configuration.to_spec() for configuration in configurations]
+    return run_campaign(specs, selected)
 
 
-def run_address_campaign(
-    attacks: Sequence[AddressInjectionAttack] | None = None,
-) -> CampaignReport:
-    """Run the address-injection attacks against single and partitioned setups."""
-    attacks = list(attacks) if attacks is not None else standard_address_attacks()
-    report = CampaignReport()
-    for attack in attacks:
-        report.add(run_address_attack_single(attack))
-        report.add(run_address_attack_nvariant(attack))
-    return report
+def run_address_campaign(attacks: Optional[Sequence] = None) -> CampaignReport:
+    """Run the address-injection attacks against single and partitioned setups.
+
+    .. deprecated::
+        Use :func:`repro.api.campaign.run_campaign` with
+        :data:`~repro.api.spec.SINGLE_PROCESS_SPEC` and
+        :data:`~repro.api.spec.ADDRESS_PARTITIONING_SPEC`.
+    """
+    from repro.api.campaign import run_address_campaign_specs
+
+    warnings.warn(
+        "run_address_campaign is deprecated; use repro.api.run_campaign(specs, attacks)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    selected = list(attacks) if attacks is not None else standard_address_attacks()
+    return run_campaign(run_address_campaign_specs(), selected)

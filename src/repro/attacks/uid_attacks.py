@@ -19,14 +19,14 @@ UID variation must detect it, except in the documented high-bit blind spot).
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Optional
 
+from repro.api.builders import build_system
+from repro.api.spec import SINGLE_PROCESS_SPEC, SystemSpec, UID_DIVERSITY_SPEC
 from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
 from repro.attacks.outcomes import AttackOutcome, OutcomeKind, classify
 from repro.attacks.payloads import benign_request, traversal_path, uid_overwrite_payload
-from repro.core.nvariant import NVariantSystem, UIDCodec, VariantContext
-from repro.core.variations.base import Variation
-from repro.core.variations.uid import UIDVariation
+from repro.core.nvariant import UIDCodec, VariantContext
 from repro.kernel.host import HTTP_PORT, build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
@@ -129,6 +129,7 @@ def run_remote_attack_single(
     *,
     transformed: bool = False,
     warmup_requests: int = 1,
+    configuration: str | None = None,
 ) -> AttackOutcome:
     """Run a remote attack against the single-process server (no redundancy)."""
     if not attack.remote:
@@ -151,9 +152,11 @@ def run_remote_attack_single(
     goal = _attack_goal_reached(kernel, attack.goal_marker)
     crashed = not result.exited_normally
     kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+    if configuration is None:
+        configuration = "single-process" + ("-transformed" if transformed else "")
     return AttackOutcome(
         attack=attack.name,
-        configuration="single-process" + ("-transformed" if transformed else ""),
+        configuration=configuration,
         kind=kind,
         goal_reached=goal,
         detected=False,
@@ -163,14 +166,11 @@ def run_remote_attack_single(
 
 def run_remote_attack_nvariant(
     attack: UIDAttack,
-    variations: Sequence[Variation],
+    spec: SystemSpec = UID_DIVERSITY_SPEC,
     *,
-    transformed: bool = True,
-    num_variants: int = 2,
     warmup_requests: int = 1,
-    configuration: str = "2-variant-uid",
 ) -> AttackOutcome:
-    """Run a remote attack against an N-variant configuration."""
+    """Run a remote attack against a declaratively specified N-variant system."""
     if not attack.remote:
         raise ValueError(f"{attack.name} is not a remote attack")
     kernel = build_standard_host()
@@ -178,10 +178,10 @@ def run_remote_attack_nvariant(
         kernel.client_connect(HTTP_PORT, benign_request())
     kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
 
-    factory = make_httpd_factory(transformed=transformed, max_requests=warmup_requests + 1)
-    system = NVariantSystem(
-        kernel, factory, list(variations), num_variants=num_variants, name="httpd"
+    factory = make_httpd_factory(
+        transformed=spec.transformed, max_requests=warmup_requests + 1
     )
+    system = build_system(spec, kernel, factory, name="httpd")
     result = system.run()
 
     goal = _attack_goal_reached(kernel, attack.goal_marker)
@@ -189,7 +189,7 @@ def run_remote_attack_nvariant(
     kind = classify(goal_reached=goal, detected=detected)
     return AttackOutcome(
         attack=attack.name,
-        configuration=configuration,
+        configuration=spec.name,
         kind=kind,
         goal_reached=goal,
         detected=detected,
@@ -264,25 +264,31 @@ def _corruption_probe_factory(attack: UIDAttack, *, transformed: bool):
     return factory
 
 
-def run_corruption_attack_single(attack: UIDAttack, *, transformed: bool = False) -> AttackOutcome:
+def run_corruption_attack_single(
+    attack: UIDAttack,
+    *,
+    transformed: bool = False,
+    configuration: str | None = None,
+) -> AttackOutcome:
     """Run an in-place corruption attack with no redundancy."""
     if attack.remote:
         raise ValueError(f"{attack.name} is a remote attack")
     kernel = build_standard_host()
-    system = NVariantSystem(
+    system = build_system(
+        SINGLE_PROCESS_SPEC,
         kernel,
         _corruption_probe_factory(attack, transformed=transformed),
-        [],
-        num_variants=1,
         name="probe",
     )
     result = system.run()
     goal = any(v.exit_code == 42 for v in result.variants)
     crashed = any(not v.exited_normally for v in result.variants)
     kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+    if configuration is None:
+        configuration = "single-process" + ("-transformed" if transformed else "")
     return AttackOutcome(
         attack=attack.name,
-        configuration="single-process" + ("-transformed" if transformed else ""),
+        configuration=configuration,
         kind=kind,
         goal_reached=goal,
         detected=False,
@@ -292,20 +298,21 @@ def run_corruption_attack_single(attack: UIDAttack, *, transformed: bool = False
 
 def run_corruption_attack_nvariant(
     attack: UIDAttack,
-    variations: Sequence[Variation] | None = None,
-    *,
-    configuration: str = "2-variant-uid",
+    spec: SystemSpec = UID_DIVERSITY_SPEC,
 ) -> AttackOutcome:
-    """Run an in-place corruption attack against an N-variant configuration."""
+    """Run an in-place corruption attack against a specified N-variant system.
+
+    The corruption probe models the transformed build (the in-place threat
+    model presumes the deployed data-diversity binary), so the probe is
+    always transformed regardless of ``spec.transformed``.
+    """
     if attack.remote:
         raise ValueError(f"{attack.name} is a remote attack")
-    variations = list(variations) if variations is not None else [UIDVariation()]
     kernel = build_standard_host()
-    system = NVariantSystem(
+    system = build_system(
+        spec,
         kernel,
         _corruption_probe_factory(attack, transformed=True),
-        variations,
-        num_variants=2,
         name="probe",
     )
     result = system.run()
@@ -314,7 +321,7 @@ def run_corruption_attack_nvariant(
     kind = classify(goal_reached=goal, detected=detected)
     return AttackOutcome(
         attack=attack.name,
-        configuration=configuration,
+        configuration=spec.name,
         kind=kind,
         goal_reached=goal,
         detected=detected,
@@ -322,23 +329,16 @@ def run_corruption_attack_nvariant(
     )
 
 
-def run_uid_attack(
-    attack: UIDAttack,
-    *,
-    redundant: bool,
-    variations: Sequence[Variation] | None = None,
-    transformed: bool = True,
-    configuration: str | None = None,
-) -> AttackOutcome:
-    """Dispatch an attack to the appropriate driver for the configuration."""
-    if redundant:
-        variations = list(variations) if variations is not None else [UIDVariation()]
-        name = configuration or "2-variant-uid"
+def run_uid_attack(attack: UIDAttack, spec: SystemSpec = UID_DIVERSITY_SPEC) -> AttackOutcome:
+    """Dispatch an attack to the appropriate driver for the specified system."""
+    if spec.redundant:
         if attack.remote:
-            return run_remote_attack_nvariant(
-                attack, variations, transformed=transformed, configuration=name
-            )
-        return run_corruption_attack_nvariant(attack, variations, configuration=name)
+            return run_remote_attack_nvariant(attack, spec)
+        return run_corruption_attack_nvariant(attack, spec)
     if attack.remote:
-        return run_remote_attack_single(attack, transformed=False)
-    return run_corruption_attack_single(attack, transformed=False)
+        return run_remote_attack_single(
+            attack, transformed=spec.transformed, configuration=spec.name
+        )
+    return run_corruption_attack_single(
+        attack, transformed=spec.transformed, configuration=spec.name
+    )

@@ -246,10 +246,10 @@ class TestWebBenchWorkload:
         assert transformed.detection_calls > plain.detection_calls
 
     def test_nvariant_measurement_has_wrapper_stats(self):
+        from repro.api.spec import ADDRESS_UID_SPEC
+
         measurement, result = drive_nvariant(
-            WebBenchWorkload(total_requests=6),
-            [AddressPartitioning(), UIDVariation()],
-            transformed=True,
+            WebBenchWorkload(total_requests=6), ADDRESS_UID_SPEC
         )
         assert measurement.completed_ok
         assert result.completed_normally

@@ -16,6 +16,12 @@ from repro.attacks.payloads import (
     traversal_path,
     uid_overwrite_payload,
 )
+from repro.api.campaign import run_campaign
+from repro.api.spec import (
+    ADDRESS_PARTITIONING_SPEC,
+    SINGLE_PROCESS_SPEC,
+    UID_DIVERSITY_SPEC,
+)
 from repro.attacks.runner import CampaignConfiguration, run_uid_campaign
 from repro.attacks.uid_attacks import (
     UIDAttack,
@@ -93,34 +99,32 @@ class TestUIDAttackEndToEnd:
 
     def test_root_overwrite_detected_by_uid_variation(self):
         attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
-        outcome = run_remote_attack_nvariant(attack, [UIDVariation()])
+        outcome = run_remote_attack_nvariant(attack, UID_DIVERSITY_SPEC)
         assert outcome.kind is OutcomeKind.DETECTED
         assert not outcome.goal_reached
 
     def test_partial_overwrites_detected_by_uid_variation(self):
         for name in ("partial-1-byte-overwrite", "partial-2-byte-overwrite", "partial-3-byte-overwrite"):
             attack = next(a for a in standard_uid_attacks() if a.name == name)
-            outcome = run_uid_attack(attack, redundant=True)
+            outcome = run_uid_attack(attack, UID_DIVERSITY_SPEC)
             assert outcome.kind is OutcomeKind.DETECTED, name
 
     def test_bit_flips_are_outside_the_guarantee(self):
         for name in ("low-bit-flip", "high-bit-flip"):
             attack = next(a for a in standard_uid_attacks() if a.name == name)
-            outcome = run_uid_attack(attack, redundant=True)
+            outcome = run_uid_attack(attack, UID_DIVERSITY_SPEC)
             assert outcome.kind is not OutcomeKind.DETECTED, name
 
     def test_address_partitioning_does_not_stop_uid_attack(self):
         attack = next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite")
-        outcome = run_remote_attack_nvariant(
-            attack, [AddressPartitioning()], transformed=False, configuration="2-variant-address"
-        )
+        outcome = run_remote_attack_nvariant(attack, ADDRESS_PARTITIONING_SPEC)
         assert outcome.kind is OutcomeKind.UNDETECTED_COMPROMISE
 
     def test_masquerade_attack_reads_victim_file_when_undetected(self):
         attack = next(a for a in standard_uid_attacks() if a.name == "full-word-user-overwrite")
         single = run_remote_attack_single(attack)
         assert single.goal_reached
-        protected = run_remote_attack_nvariant(attack, [UIDVariation()])
+        protected = run_remote_attack_nvariant(attack, UID_DIVERSITY_SPEC)
         assert protected.detected
 
     @settings(max_examples=8, deadline=None)
@@ -131,7 +135,7 @@ class TestUIDAttackEndToEnd:
             description="property-based complete-value injection",
             payload=uid_overwrite_payload(injected_uid),
         )
-        outcome = run_remote_attack_nvariant(attack, [UIDVariation()])
+        outcome = run_remote_attack_nvariant(attack, UID_DIVERSITY_SPEC)
         assert outcome.detected
 
 
@@ -153,16 +157,37 @@ class TestAddressAndCodeInjection:
 
 class TestCampaignRunner:
     def test_campaign_report_summaries(self):
-        configurations = (
-            CampaignConfiguration(name="single-process", redundant=False, transformed=False),
-            CampaignConfiguration(
-                name="2-variant-uid", redundant=True, variations=(UIDVariation,), transformed=True
-            ),
-        )
+        specs = (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC)
         attacks = [a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"]
-        report = run_uid_campaign(attacks, configurations)
+        report = run_campaign(specs, attacks)
         assert len(report.outcomes) == 2
         assert report.detection_rate("2-variant-uid") == 1.0
         assert report.detection_rate("single-process") == 0.0
         assert report.matrix()["full-word-root-overwrite"]["2-variant-uid"] == "detected"
         assert "undetected compromises" in report.describe()
+
+    def test_legacy_campaign_shim_warns_and_matches_spec_path(self):
+        """The deprecated configuration API still works, warns, and produces
+        the same outcomes as the spec-based campaign it now delegates to."""
+        with pytest.warns(DeprecationWarning):
+            configurations = (
+                CampaignConfiguration(name="single-process", redundant=False, transformed=False),
+                CampaignConfiguration(
+                    name="2-variant-uid",
+                    redundant=True,
+                    variations=(UIDVariation,),
+                    transformed=True,
+                ),
+            )
+        assert configurations[1].to_spec() == UID_DIVERSITY_SPEC
+        assert configurations[0].to_spec() == SINGLE_PROCESS_SPEC
+        attacks = [a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"]
+        with pytest.warns(DeprecationWarning):
+            legacy = run_uid_campaign(attacks, configurations)
+        modern = run_campaign([c.to_spec() for c in configurations], attacks)
+        assert legacy.matrix() == modern.matrix()
+
+    def test_legacy_configuration_rejects_non_variation_classes(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                CampaignConfiguration(name="bad", redundant=True, variations=(int,))

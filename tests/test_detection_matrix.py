@@ -21,6 +21,11 @@ Cell semantics (:class:`repro.attacks.outcomes.OutcomeKind`):
 
 import pytest
 
+from repro.api.spec import (
+    ADDRESS_UID_SPEC,
+    STANDARD_SYSTEM_SPECS,
+    UID_DIVERSITY_SPEC,
+)
 from repro.attacks.code_injection import (
     run_code_injection_tagged,
     run_code_injection_untagged,
@@ -31,14 +36,11 @@ from repro.attacks.memory_attacks import (
     standard_address_attacks,
 )
 from repro.attacks.outcomes import OutcomeKind
-from repro.attacks.runner import STANDARD_CONFIGURATIONS, run_uid_attack
-from repro.attacks.uid_attacks import standard_uid_attacks
+from repro.attacks.uid_attacks import run_uid_attack, standard_uid_attacks
 from repro.core.alarm import AlarmType
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.uid import UIDVariation
 
-#: The four variation configurations of the matrix, by campaign name.
-CONFIGURATIONS = tuple(c.name for c in STANDARD_CONFIGURATIONS)
+#: The four variation configurations of the matrix, by configuration name.
+CONFIGURATIONS = tuple(spec.name for spec in STANDARD_SYSTEM_SPECS)
 
 UC = OutcomeKind.UNDETECTED_COMPROMISE
 DET = OutcomeKind.DETECTED
@@ -84,19 +86,13 @@ def _address_attacks_by_name():
 
 def _address_campaign_cell(attack, configuration: str):
     """Run one address attack against one named configuration."""
-    if configuration == "single-process":
-        return run_address_attack_single(attack)
-    variations = {
-        "2-variant-address": lambda: [AddressPartitioning()],
-        "2-variant-uid": lambda: [UIDVariation()],
-        "2-variant-address+uid": lambda: [AddressPartitioning(), UIDVariation()],
-    }[configuration]()
-    # The untransformed build diverges on benign traffic when UID
-    # representations differ, so UID-bearing configurations run transformed.
-    transformed = any(isinstance(v, UIDVariation) for v in variations)
-    return run_address_attack_nvariant(
-        attack, variations, transformed=transformed, configuration=configuration
-    )
+    spec = next(s for s in STANDARD_SYSTEM_SPECS if s.name == configuration)
+    if not spec.redundant:
+        return run_address_attack_single(attack, configuration=spec.name)
+    # UID-bearing specs carry transformed=True, which is load-bearing: the
+    # untransformed build diverges on benign traffic when UID representations
+    # differ.
+    return run_address_attack_nvariant(attack, spec)
 
 
 class TestUIDAttackMatrix:
@@ -104,14 +100,8 @@ class TestUIDAttackMatrix:
     @pytest.mark.parametrize("attack_name", sorted(UID_MATRIX))
     def test_cell_outcome(self, attack_name, configuration_index):
         attack = _uid_attacks_by_name()[attack_name]
-        configuration = STANDARD_CONFIGURATIONS[configuration_index]
-        outcome = run_uid_attack(
-            attack,
-            redundant=configuration.redundant,
-            variations=[cls() for cls in configuration.variations],
-            transformed=configuration.transformed,
-            configuration=configuration.name,
-        )
+        spec = STANDARD_SYSTEM_SPECS[configuration_index]
+        outcome = run_uid_attack(attack, spec)
         expected = UID_MATRIX[attack_name][configuration_index]
         assert outcome.kind is expected, outcome.describe()
 
@@ -121,19 +111,14 @@ class TestUIDAttackMatrix:
     def test_remote_detection_is_uid_divergence(self):
         """The guaranteed detections classify as UID divergence, not noise."""
         attack = _uid_attacks_by_name()["full-word-root-overwrite"]
-        outcome = run_uid_attack(attack, redundant=True, variations=[UIDVariation()])
+        outcome = run_uid_attack(attack, UID_DIVERSITY_SPEC)
         assert outcome.kind is DET
         assert AlarmType.UID_DIVERGENCE.value in outcome.detail
 
     def test_shadow_never_leaks_from_protected_configuration(self):
         """Detected means stopped: no protected run may still reach the goal."""
         for attack in standard_uid_attacks():
-            outcome = run_uid_attack(
-                attack,
-                redundant=True,
-                variations=[AddressPartitioning(), UIDVariation()],
-                configuration="2-variant-address+uid",
-            )
+            outcome = run_uid_attack(attack, ADDRESS_UID_SPEC)
             if outcome.kind is DET:
                 assert not outcome.goal_reached, outcome.describe()
 

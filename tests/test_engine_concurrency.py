@@ -278,11 +278,15 @@ class TestEngineMechanics:
         assert result.sessions == [] and result.total_alarms == 0
 
     def test_drive_engine_scales_throughput(self):
+        from repro.api.spec import ADDRESS_UID_SPEC, FleetSpec, WorkloadSpec
+
         single = drive_engine(
-            WebBenchWorkload(total_requests=6), _variations, num_sessions=1
+            FleetSpec(system=ADDRESS_UID_SPEC, num_sessions=1,
+                      workload=WorkloadSpec(total_requests=6))
         )
         fleet = drive_engine(
-            WebBenchWorkload(total_requests=24), _variations, num_sessions=4
+            FleetSpec(system=ADDRESS_UID_SPEC, num_sessions=4,
+                      workload=WorkloadSpec(total_requests=24))
         )
         assert single.completed_ok and fleet.completed_ok
         assert fleet.speedup() > 3.0
