@@ -1,10 +1,13 @@
 # Developer/CI entry points.
 #
-#   make test        -- the tier-1 verification suite (tests/ only)
-#   make check       -- tier-1 tests + a CLI scenario smoke run (CI gate)
-#   make bench       -- every paper-table/figure benchmark, with timing
-#   make bench-smoke -- every benchmark once, no timing (fast CI exercise)
-#   make examples    -- run each example script end to end
+#   make test           -- the tier-1 verification suite (tests/ only; slow-marked
+#                          suites are deselected via pytest.ini)
+#   make check          -- tier-1 tests + a CLI scenario smoke run (CI gate)
+#   make check-parallel -- tier-1 + the slow parity/stress suites + a smoke run
+#                          of the campaign-throughput benchmark
+#   make bench          -- every paper-table/figure benchmark, with timing
+#   make bench-smoke    -- every benchmark once, no timing (fast CI exercise)
+#   make examples       -- run each example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -12,7 +15,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCHES := $(wildcard benchmarks/bench_*.py)
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test check bench bench-smoke examples
+.PHONY: test check check-parallel bench bench-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +23,16 @@ test:
 check: test
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
 	@echo "check ok: tier-1 tests + CLI scenario smoke"
+
+# The engine-parallel gate: the serial-parity property suite and the
+# scheduler stress tests (both marked `slow`, deselected from tier-1), then
+# one assertion-only pass of the campaign-throughput benchmark.
+check-parallel: test
+	$(PYTHON) -m pytest -q -m slow tests/test_campaign_parallel.py tests/test_engine_concurrency.py
+	$(PYTHON) -m pytest benchmarks/bench_campaign_throughput.py -q --benchmark-disable
+	@echo "check-parallel ok: tier-1 + parity/stress suites + campaign bench smoke"
 
 bench:
 	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-only -s

@@ -7,7 +7,9 @@ from repro.analysis.experiments import detection
 
 def test_detection_matrix(benchmark):
     """Every in-guarantee attack is detected; the unprotected server is compromised."""
-    result = benchmark.pedantic(detection.run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        detection.run, kwargs={"parallelism": 8}, rounds=1, iterations=1
+    )
     emit("Detection matrix", result.format())
     claims = result.claim_results()
     assert all(claims.values()), claims

@@ -39,6 +39,7 @@ from repro.api import (
     STANDARD_SYSTEM_SPECS,
     SystemSpec,
     UID_DIVERSITY_SPEC,
+    UID_ORBIT_3_SPEC,
     UnknownVariationError,
     VariationParameterError,
     VariationRegistry,
@@ -48,9 +49,11 @@ from repro.api import (
     build_session,
     build_system,
     build_variations,
+    prepare_attack,
     registry,
     run_attack,
     run_campaign,
+    uid_orbit_spec,
 )
 
 __all__ = [
@@ -62,6 +65,7 @@ __all__ = [
     "STANDARD_SYSTEM_SPECS",
     "SystemSpec",
     "UID_DIVERSITY_SPEC",
+    "UID_ORBIT_3_SPEC",
     "UnknownVariationError",
     "VariationParameterError",
     "VariationRegistry",
@@ -72,7 +76,9 @@ __all__ = [
     "build_session",
     "build_system",
     "build_variations",
+    "prepare_attack",
     "registry",
     "run_attack",
     "run_campaign",
+    "uid_orbit_spec",
 ]

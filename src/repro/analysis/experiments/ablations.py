@@ -26,11 +26,12 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_key_values
-from repro.api.builders import build_system
+from repro.api.builders import build_session
 from repro.api.spec import SystemSpec, UID_DIVERSITY_SPEC, VariationSpec
-from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
+from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant_many
 from repro.core.reexpression import sample_domain
 from repro.core.variations.uid import FullFlipUIDVariation, UIDVariation
+from repro.engine import run_sessions
 from repro.kernel.host import build_standard_host
 
 
@@ -126,17 +127,7 @@ def _latency_probe_factory(*, use_detection_calls: bool, user_space_uses: int):
     return factory
 
 
-def _latency_rounds(*, use_detection_calls: bool, user_space_uses: int) -> int | None:
-    kernel = build_standard_host()
-    system = build_system(
-        UID_DIVERSITY_SPEC,
-        kernel,
-        _latency_probe_factory(
-            use_detection_calls=use_detection_calls, user_space_uses=user_space_uses
-        ),
-        name="ablation1",
-    )
-    result = system.run()
+def _latency_from_result(result) -> int | None:
     alarm = result.first_alarm()
     if alarm is None or alarm.lockstep_index is None:
         return None
@@ -147,14 +138,23 @@ def _latency_rounds(*, use_detection_calls: bool, user_space_uses: int) -> int |
 
 
 def run_detection_latency(user_space_uses: int = 5) -> DetectionLatencyResult:
-    """Run ablation 1."""
+    """Run ablation 1: both builds interleaved on one engine."""
+    sessions = [
+        build_session(
+            UID_DIVERSITY_SPEC,
+            build_standard_host(),
+            _latency_probe_factory(
+                use_detection_calls=use_detection_calls, user_space_uses=user_space_uses
+            ),
+            name=f"ablation1-{'with' if use_detection_calls else 'without'}",
+        )
+        for use_detection_calls in (True, False)
+    ]
+    engine_result = run_sessions(sessions, name="ablation1")
+    with_calls, without_calls = (entry.result for entry in engine_result.sessions)
     return DetectionLatencyResult(
-        with_detection_calls=_latency_rounds(
-            use_detection_calls=True, user_space_uses=user_space_uses
-        ),
-        without_detection_calls=_latency_rounds(
-            use_detection_calls=False, user_space_uses=user_space_uses
-        ),
+        with_detection_calls=_latency_from_result(with_calls),
+        without_detection_calls=_latency_from_result(without_calls),
         user_space_uses=user_space_uses,
     )
 
@@ -202,12 +202,14 @@ def run_mask_ablation(requests: int = 4) -> MaskAblationResult:
     """Run ablation 2."""
     workload = WebBenchWorkload(total_requests=requests)
 
-    paper_measurement, paper_result = drive_nvariant(
-        workload, UID_DIVERSITY_SPEC.with_name("mask-paper")
-    )
-    full_measurement, full_result = drive_nvariant(
-        workload,
-        SystemSpec(name="mask-full-flip", variations=(VariationSpec("uid-full-flip"),)),
+    (paper_measurement, paper_result), (full_measurement, full_result) = drive_nvariant_many(
+        [
+            (workload, UID_DIVERSITY_SPEC.with_name("mask-paper")),
+            (
+                workload,
+                SystemSpec(name="mask-full-flip", variations=(VariationSpec("uid-full-flip"),)),
+            ),
+        ]
     )
 
     # Analytical blind-spot check: corrupt only the sign bit with the same

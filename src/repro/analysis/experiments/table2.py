@@ -5,6 +5,10 @@ a live 2-variant UID system: once with equivalent per-variant data (the call
 must succeed silently) and once with attacker-identical data (the monitor
 must raise the corresponding alarm).  This demonstrates both halves of each
 call's contract rather than just printing the signatures.
+
+All 2x8 probe systems run as sessions interleaved on one multi-session
+engine (each on its own host), so the whole table costs one engine pass
+instead of sixteen serial runs.
 """
 
 from __future__ import annotations
@@ -12,8 +16,9 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.tables import render_table
-from repro.api.builders import build_system
+from repro.api.builders import build_session
 from repro.api.spec import UID_DIVERSITY_SPEC
+from repro.engine import run_sessions
 from repro.core.alarm import AlarmType
 from repro.core.detection_calls import TABLE2_DETECTION_CALLS, DetectionCallSpec
 from repro.core.nvariant import VariantContext
@@ -103,25 +108,25 @@ def _probe_factory(syscall: Syscall, *, injected: bool):
 
 
 def run() -> Table2Result:
-    """Run the Table 2 reproduction."""
-    checks = []
+    """Run the Table 2 reproduction (all probes interleaved on one engine)."""
+    sessions = []
     for spec in TABLE2_DETECTION_CALLS:
-        benign_system = build_system(
-            UID_DIVERSITY_SPEC,
-            build_standard_host(),
-            _probe_factory(spec.syscall, injected=False),
-            name="table2-benign",
-        )
-        benign = benign_system.run()
+        for injected in (False, True):
+            sessions.append(
+                build_session(
+                    UID_DIVERSITY_SPEC,
+                    build_standard_host(),
+                    _probe_factory(spec.syscall, injected=injected),
+                    name=f"table2-{spec.syscall.value}-{'attack' if injected else 'benign'}",
+                )
+            )
+    engine_result = run_sessions(sessions, name="table2")
 
-        attack_system = build_system(
-            UID_DIVERSITY_SPEC,
-            build_standard_host(),
-            _probe_factory(spec.syscall, injected=True),
-            name="table2-attack",
-        )
-        attack = attack_system.run()
-
+    checks = []
+    results = iter(engine_result.sessions)
+    for spec in TABLE2_DETECTION_CALLS:
+        benign = next(results).result
+        attack = next(results).result
         alarm_type = ""
         if attack.alarms:
             alarm_type = attack.first_alarm().alarm_type.value

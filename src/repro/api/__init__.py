@@ -28,6 +28,7 @@ from repro.api.builders import (
 from repro.api.campaign import (
     CampaignReport,
     attacks_by_name,
+    prepare_attack,
     run_attack,
     run_campaign,
     standard_attacks,
@@ -49,8 +50,10 @@ from repro.api.spec import (
     STANDARD_SYSTEM_SPECS,
     SystemSpec,
     UID_DIVERSITY_SPEC,
+    UID_ORBIT_3_SPEC,
     VariationSpec,
     WorkloadSpec,
+    uid_orbit_spec,
 )
 
 __all__ = [
@@ -64,6 +67,7 @@ __all__ = [
     "STANDARD_SYSTEM_SPECS",
     "SystemSpec",
     "UID_DIVERSITY_SPEC",
+    "UID_ORBIT_3_SPEC",
     "UnknownVariationError",
     "VariationParameterError",
     "VariationRegistry",
@@ -75,8 +79,10 @@ __all__ = [
     "build_session",
     "build_system",
     "build_variations",
+    "prepare_attack",
     "registry",
     "run_attack",
     "run_campaign",
     "standard_attacks",
+    "uid_orbit_spec",
 ]

@@ -33,9 +33,21 @@ def build_variations(
     Freshness matters: two sessions built from the same spec must never share
     variation objects (unshared-file setup and per-variant state are
     per-session), which is exactly why specs carry names instead of instances.
+
+    The spec's ``num_variants`` is forwarded to every factory that accepts a
+    ``num_variants`` parameter (unless the spec's params pin it explicitly),
+    so N-way variations like the UID orbit follow the system's variant count
+    without the spec having to repeat it per variation.
     """
     resolver = registry if registry is not None else default_registry
-    return [resolver.create(v.name, v.params_dict()) for v in spec.variations]
+    variations = []
+    for v in spec.variations:
+        params = v.params_dict()
+        entry = resolver.get(v.name)
+        if "num_variants" not in params and "num_variants" in entry.parameters():
+            params["num_variants"] = spec.num_variants
+        variations.append(resolver.create(v.name, params))
+    return variations
 
 
 def build_session(

@@ -1,13 +1,20 @@
-"""The unified campaign runner: attacks x system specs, one loop.
+"""The unified campaign runner: attacks x system specs, one engine.
 
 The seed repository grew one ad-hoc campaign per attack family
 (``run_uid_campaign``, ``run_address_campaign``), each hand-wiring its own
 configurations.  With systems described by :class:`~repro.api.spec.SystemSpec`
 there is a single cross product left to run: :func:`run_campaign` takes any
-mix of attacks from the library and any list of system specs, dispatches each
-pair to the right driver and collects one :class:`CampaignReport`.  The legacy
-campaign entry points live on in :mod:`repro.attacks.runner` as deprecation
-shims over this function.
+mix of attacks from the library and any list of system specs, expands each
+pair into a prepared cell -- a private kernel plus a resumable
+:class:`~repro.engine.session.NVariantSession` -- and hands the whole batch to
+the engine's :class:`~repro.engine.campaign.CampaignScheduler`.  That
+scheduler is the only execution path: ``parallelism=1`` runs the cells
+back-to-back in submission order (the historical serial campaign), larger
+values interleave up to that many cells round-robin with batched lockstep
+rounds, and because every cell owns its own simulated host the per-cell
+outcomes are identical either way (the serial-parity property test pins
+this).  The legacy campaign entry points live on in
+:mod:`repro.attacks.runner` as deprecation shims over this function.
 
 Attack drivers are imported lazily inside the dispatch functions: the attack
 modules themselves build their systems through :mod:`repro.api.builders`, so a
@@ -17,7 +24,7 @@ module-level import in either direction would be circular.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 from repro.api.spec import (
     ADDRESS_PARTITIONING_SPEC,
@@ -25,10 +32,16 @@ from repro.api.spec import (
     STANDARD_SYSTEM_SPECS,
     SystemSpec,
 )
+from repro.engine.campaign import (
+    CampaignExecutionResult,
+    CampaignHaltPolicy,
+    CampaignJob,
+    run_jobs,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
     from repro.attacks.memory_attacks import AddressInjectionAttack
-    from repro.attacks.outcomes import AttackOutcome
+    from repro.attacks.outcomes import AttackOutcome, PreparedAttack
     from repro.attacks.uid_attacks import UIDAttack
 
     Attack = UIDAttack | AddressInjectionAttack
@@ -36,9 +49,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
 
 @dataclasses.dataclass
 class CampaignReport:
-    """All outcomes from one campaign plus summary helpers."""
+    """All outcomes from one campaign plus summary helpers.
+
+    ``execution`` carries the engine scheduler's accounting (worker elapsed
+    virtual times, fairness telemetry) when the report came out of
+    :func:`run_campaign`; the outcome list and every summary helper are
+    independent of how the campaign was scheduled.
+    """
 
     outcomes: list["AttackOutcome"] = dataclasses.field(default_factory=list)
+    execution: Optional[CampaignExecutionResult] = None
 
     def add(self, outcome: "AttackOutcome") -> None:
         """Append one outcome."""
@@ -95,27 +115,30 @@ def attacks_by_name() -> dict[str, "Attack"]:
     return {attack.name: attack for attack in standard_attacks()}
 
 
-def run_attack(attack: "Attack", spec: SystemSpec) -> "AttackOutcome":
-    """Run one attack against one declaratively specified system."""
-    from repro.attacks.memory_attacks import (
-        AddressInjectionAttack,
-        run_address_attack_nvariant,
-        run_address_attack_single,
-    )
-    from repro.attacks.uid_attacks import UIDAttack, run_uid_attack
+def prepare_attack(attack: "Attack", spec: SystemSpec) -> "PreparedAttack":
+    """Prepare one attack-x-spec cell: a lazy session plus its finalizer."""
+    from repro.attacks.memory_attacks import AddressInjectionAttack, prepare_address_attack
+    from repro.attacks.uid_attacks import UIDAttack, prepare_uid_attack
 
     if isinstance(attack, UIDAttack):
-        return run_uid_attack(attack, spec)
+        return prepare_uid_attack(attack, spec)
     if isinstance(attack, AddressInjectionAttack):
-        if not spec.redundant:
-            return run_address_attack_single(attack, configuration=spec.name)
-        return run_address_attack_nvariant(attack, spec)
+        return prepare_address_attack(attack, spec)
     raise TypeError(f"unknown attack type {type(attack).__name__}: cannot dispatch {attack!r}")
+
+
+def run_attack(attack: "Attack", spec: SystemSpec) -> "AttackOutcome":
+    """Run one attack against one declaratively specified system."""
+    return prepare_attack(attack, spec).run()
 
 
 def run_campaign(
     specs: Sequence[SystemSpec] = STANDARD_SYSTEM_SPECS,
     attacks: Optional[Iterable["Attack"]] = None,
+    *,
+    parallelism: int = 1,
+    rounds_per_turn: int = 8,
+    halt: Union[CampaignHaltPolicy, str] = CampaignHaltPolicy.PER_CELL,
 ) -> CampaignReport:
     """Run every attack against every system spec and collect the outcomes.
 
@@ -123,13 +146,34 @@ def run_campaign(
     injection) runs; pass a subset to focus a campaign.  Specs may carry any
     registered variation stack -- this is the generic cross product the
     detection-matrix experiment, the examples and the CLI all share.
+
+    Every cell runs as a resumable session under the engine's campaign
+    scheduler.  ``parallelism`` bounds how many cells are interleaved at once
+    (1 = the historical serial order, which every other value reproduces
+    cell-for-cell since cells share no state); ``rounds_per_turn`` batches
+    that many lockstep rounds per scheduling turn; ``halt`` chooses what one
+    cell's halt means for the rest of the campaign
+    (:class:`~repro.engine.campaign.CampaignHaltPolicy`).  Outcomes are always
+    reported in submission order (attacks outer, specs inner), regardless of
+    completion order.
     """
     selected = list(attacks) if attacks is not None else standard_attacks()
-    report = CampaignReport()
+    halt_policy = halt if isinstance(halt, CampaignHaltPolicy) else CampaignHaltPolicy(halt)
+    jobs = []
     for attack in selected:
         for spec in specs:
-            report.add(run_attack(attack, spec))
-    return report
+            cell = prepare_attack(attack, spec)
+            jobs.append(CampaignJob(name=cell.name, start=cell.start, finish=cell.finish))
+    execution = run_jobs(
+        jobs,
+        parallelism=parallelism,
+        rounds_per_turn=rounds_per_turn,
+        halt_policy=halt_policy,
+    )
+    return CampaignReport(
+        outcomes=[job.value for job in execution.jobs if job.value is not None],
+        execution=execution,
+    )
 
 
 def run_address_campaign_specs() -> tuple[SystemSpec, SystemSpec]:

@@ -15,7 +15,17 @@ A scenario file is data, not code::
       "output": "text"
     }
 
-``repro run scenario.json`` executes one such file; ``repro variations``
+    {
+      "scenario": "campaign",
+      "systems": [ ...SystemSpec dicts... ],     // default: the standard four
+      "attacks": ["full-word-root-overwrite"],   // default: every standard attack
+      "parallelism": 8,                          // engine worker count
+      "rounds_per_turn": 8,                      // lockstep rounds per turn
+      "halt": "per-cell"                         // or "halt-campaign"
+    }
+
+``repro run scenario.json`` executes one such file (``--parallelism N``
+overrides the campaign worker count from the shell); ``repro variations``
 lists every registered variation a scenario may name.  Scenario problems
 (unknown keys, unknown variation or attack names, bad parameters) are
 reported as errors with the known alternatives, not tracebacks.
@@ -32,6 +42,7 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.api.campaign import CampaignReport, attacks_by_name, run_campaign
 from repro.api.registry import VariationRegistryError, registry
 from repro.api.spec import FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
+from repro.engine.campaign import CampaignHaltPolicy
 
 #: Output formats every scenario kind supports.
 OUTPUT_FORMATS = ("text", "json")
@@ -98,6 +109,13 @@ def _resolve_attacks(data: Mapping[str, Any]) -> Optional[list]:
     return selected
 
 
+def _resolve_positive_int(data: Mapping[str, Any], key: str, default: int) -> int:
+    value = data.get(key, default)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ScenarioError(f"{key} must be a positive integer, got {value!r}")
+    return value
+
+
 # ---------------------------------------------------------------------------
 # Scenario kinds
 # ---------------------------------------------------------------------------
@@ -125,7 +143,9 @@ def _format_matrix_text(report: CampaignReport, specs: Sequence[SystemSpec]) -> 
 def _run_detection_matrix(data: Mapping[str, Any], output: str) -> tuple[int, str]:
     specs = _resolve_systems(data)
     attacks = _resolve_attacks(data)
-    report = run_campaign(specs, attacks)
+    report = run_campaign(
+        specs, attacks, parallelism=_resolve_positive_int(data, "parallelism", 1)
+    )
     if output == "json":
         payload = {
             "scenario": "detection-matrix",
@@ -179,17 +199,92 @@ def _run_throughput(data: Mapping[str, Any], output: str) -> tuple[int, str]:
     return 0, "\n".join(lines)
 
 
+def _run_parallel_campaign(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+    specs = _resolve_systems(data)
+    attacks = _resolve_attacks(data)
+    rounds_per_turn = _resolve_positive_int(data, "rounds_per_turn", 8)
+    halt = data.get("halt", CampaignHaltPolicy.PER_CELL.value)
+    try:
+        halt_policy = CampaignHaltPolicy(halt)
+    except ValueError:
+        raise ScenarioError(
+            f"halt must be one of {', '.join(p.value for p in CampaignHaltPolicy)}, "
+            f"got {halt!r}"
+        ) from None
+    report = run_campaign(
+        specs,
+        attacks,
+        parallelism=_resolve_positive_int(data, "parallelism", 1),
+        rounds_per_turn=rounds_per_turn,
+        halt=halt_policy,
+    )
+    execution = report.execution
+    if output == "json":
+        payload = {
+            "scenario": "campaign",
+            "systems": [spec.to_dict() for spec in specs],
+            "matrix": report.matrix(),
+            "detection_rates": {
+                spec.name: report.detection_rate(spec.name) for spec in specs
+            },
+            "undetected_compromises": [
+                {"attack": o.attack, "configuration": o.configuration}
+                for o in report.security_failures()
+            ],
+            "execution": {
+                "parallelism": execution.parallelism,
+                "rounds_per_turn": execution.rounds_per_turn,
+                "jobs": len(execution.jobs),
+                "skipped_jobs": len(execution.skipped_jobs),
+                "truncated_jobs": len(execution.truncated_jobs),
+                "scheduler_turns": execution.scheduler_turns,
+                "virtual_elapsed": execution.virtual_elapsed,
+                "virtual_elapsed_sequential": execution.virtual_elapsed_sequential,
+                "speedup": execution.speedup(),
+                "max_wait_turns": execution.max_wait_turns,
+            },
+        }
+        return 0, json.dumps(payload, indent=2)
+    lines = [
+        _format_matrix_text(report, specs),
+        "",
+        f"execution: {len(execution.jobs)} cells on {execution.parallelism} workers "
+        f"({execution.rounds_per_turn} rounds/turn, {execution.scheduler_turns} turns)",
+        f"virtual elapsed: {execution.virtual_elapsed} ticks concurrent, "
+        f"{execution.virtual_elapsed_sequential} sequential "
+        f"({execution.speedup():.2f}x)",
+    ]
+    if execution.skipped_jobs or execution.truncated_jobs:
+        lines.append(
+            f"campaign halted: {len(execution.truncated_jobs)} cells truncated, "
+            f"{len(execution.skipped_jobs)} skipped (neither counts as an outcome)"
+        )
+    return 0, "\n".join(lines)
+
+
 #: Runner plus the top-level keys each scenario kind accepts ("scenario",
 #: "description" and "output" are always allowed).
 SCENARIO_RUNNERS = {
-    "detection-matrix": (_run_detection_matrix, frozenset({"systems", "attacks"})),
+    "detection-matrix": (
+        _run_detection_matrix,
+        frozenset({"systems", "attacks", "parallelism"}),
+    ),
     "throughput": (_run_throughput, frozenset({"fleet"})),
+    "campaign": (
+        _run_parallel_campaign,
+        frozenset({"systems", "attacks", "parallelism", "rounds_per_turn", "halt"}),
+    ),
 }
 
 _COMMON_SCENARIO_KEYS = frozenset({"scenario", "description", "output"})
 
 
-def run_scenario(data: Mapping[str, Any], *, output: Optional[str] = None) -> tuple[int, str]:
+def run_scenario(
+    data: Mapping[str, Any],
+    *,
+    output: Optional[str] = None,
+    parallelism: Optional[int] = None,
+) -> tuple[int, str]:
     """Execute one loaded scenario; returns ``(exit_code, rendered output)``."""
     kind = data["scenario"]
     entry = SCENARIO_RUNNERS.get(kind)
@@ -206,6 +301,10 @@ def run_scenario(data: Mapping[str, Any], *, output: Optional[str] = None) -> tu
             f"unknown {kind} scenario keys: {', '.join(unknown)}; expected a subset of "
             f"{', '.join(sorted(allowed))}"
         )
+    if parallelism is not None:
+        if "parallelism" not in kind_keys:
+            raise ScenarioError(f"{kind} scenarios do not accept --parallelism")
+        data = {**data, "parallelism": parallelism}
     resolved_output = _resolve_output(data, output)
     return runner(data, resolved_output)
 
@@ -240,6 +339,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="override the scenario file's output format",
     )
+    run_parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the campaign worker count (campaign/detection-matrix scenarios)",
+    )
 
     subparsers.add_parser("variations", help="list registered variations")
 
@@ -249,7 +355,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         data = load_scenario(arguments.scenario)
-        exit_code, rendered = run_scenario(data, output=arguments.output)
+        exit_code, rendered = run_scenario(
+            data, output=arguments.output, parallelism=arguments.parallelism
+        )
     except (ScenarioError, VariationRegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterator, Mapping, Optional
 from repro.core.variations.address import AddressPartitioning, ExtendedAddressPartitioning
 from repro.core.variations.base import Variation
 from repro.core.variations.instruction import InstructionSetTagging
-from repro.core.variations.uid import FullFlipUIDVariation, UIDVariation
+from repro.core.variations.uid import FullFlipUIDVariation, OrbitUIDVariation, UIDVariation
 
 
 class VariationRegistryError(ValueError):
@@ -182,6 +182,15 @@ registry.register(
     UIDVariation,
     description="UID data diversity: R_1 XORs uid_t values with a 31-bit mask (Section 3)",
     aliases=("uid-variation",),
+)
+registry.register(
+    "uid-orbit",
+    OrbitUIDVariation,
+    description=(
+        "N-way UID orbit: variant i XORs uid_t with a distinct 31-bit mask, "
+        "generalising the 2-variant re-expression to any variant count"
+    ),
+    aliases=("uid-orbit-variation",),
 )
 registry.register(
     "uid-full-flip",

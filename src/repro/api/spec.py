@@ -292,6 +292,14 @@ ADDRESS_UID_SPEC = SystemSpec(
     transformed=True,
 )
 
+#: The N-way sweep entry: three variants, each with its own UID mask.
+UID_ORBIT_3_SPEC = SystemSpec(
+    name="3-variant-uid-orbit",
+    num_variants=3,
+    variations=(VariationSpec("uid-orbit"),),
+    transformed=True,
+)
+
 #: The four configurations the detection matrix compares, in narrative order.
 STANDARD_SYSTEM_SPECS: tuple[SystemSpec, ...] = (
     SINGLE_PROCESS_SPEC,
@@ -299,3 +307,13 @@ STANDARD_SYSTEM_SPECS: tuple[SystemSpec, ...] = (
     UID_DIVERSITY_SPEC,
     ADDRESS_UID_SPEC,
 )
+
+
+def uid_orbit_spec(num_variants: int) -> SystemSpec:
+    """The N-variant UID-orbit configuration (variant count as a sweep axis)."""
+    return SystemSpec(
+        name=f"{num_variants}-variant-uid-orbit",
+        num_variants=num_variants,
+        variations=(VariationSpec("uid-orbit"),),
+        transformed=True,
+    )

@@ -25,12 +25,12 @@ import dataclasses
 import itertools
 from typing import Optional, Sequence
 
-from repro.api.builders import build_engine, build_session, build_system
+from repro.api.builders import build_engine, build_session
 from repro.api.spec import FleetSpec, SystemSpec
 from repro.apps.httpd.http import format_request, split_responses
 from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
 from repro.core.nvariant import NVariantResult, UIDCodec
-from repro.engine import EngineResult, NVariantSession
+from repro.engine import EngineResult, NVariantSession, run_sessions
 from repro.kernel.host import DOCROOT, HTTP_PORT, build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
@@ -242,39 +242,39 @@ def drive_standalone(
     )
 
 
-def drive_nvariant(
+def _prepare_nvariant_session(
     workload: WebBenchWorkload,
     spec: SystemSpec,
     *,
     multiplex: int = 1,
     kernel: Optional[SimulatedKernel] = None,
-) -> tuple[WorkloadMeasurement, NVariantResult]:
-    """Run the workload against a declaratively specified N-variant server.
-
-    ``ADDRESS_PARTITIONING_SPEC`` reproduces Configuration 3 of Table 3;
-    ``ADDRESS_UID_SPEC`` reproduces Configuration 4.  The spec's ``name`` is
-    the measurement's configuration label.
-    """
+    name: str = "httpd",
+) -> tuple[SimulatedKernel, NVariantSession]:
+    """Load the workload onto a (fresh) host and build the server session."""
     kernel = kernel if kernel is not None else build_standard_host()
     for payload in workload.connection_payloads():
         kernel.client_connect(HTTP_PORT, payload)
-
-    servers: list[MiniHttpd] = []
     factory = make_httpd_factory(
         transformed=spec.transformed,
         max_requests=workload.total_requests,
         multiplex=multiplex,
-        servers=servers,
     )
-    system = build_system(spec, kernel, factory, name="httpd")
-    result = system.run()
+    return kernel, build_session(spec, kernel, factory, name=name)
 
+
+def _nvariant_measurement(
+    kernel: SimulatedKernel,
+    workload: WebBenchWorkload,
+    spec: SystemSpec,
+    result: NVariantResult,
+) -> WorkloadMeasurement:
+    """Assemble the measurement record for one finished N-variant run."""
     completed, statuses, body_bytes = _collect_responses(kernel)
     detection_calls = sum(
         kernel.stats.syscall_breakdown.get(name, 0)
         for name in ("uid_value", "cond_chk", "cc_eq", "cc_neq", "cc_lt", "cc_leq", "cc_gt", "cc_geq")
     )
-    measurement = WorkloadMeasurement(
+    return WorkloadMeasurement(
         configuration=spec.name,
         num_variants=spec.num_variants,
         requests_sent=workload.total_requests,
@@ -292,7 +292,54 @@ def drive_nvariant(
         alarms=len(result.alarms),
         concurrent_clients=workload.concurrent_clients,
     )
-    return measurement, result
+
+
+def drive_nvariant(
+    workload: WebBenchWorkload,
+    spec: SystemSpec,
+    *,
+    multiplex: int = 1,
+    kernel: Optional[SimulatedKernel] = None,
+) -> tuple[WorkloadMeasurement, NVariantResult]:
+    """Run the workload against a declaratively specified N-variant server.
+
+    ``ADDRESS_PARTITIONING_SPEC`` reproduces Configuration 3 of Table 3;
+    ``ADDRESS_UID_SPEC`` reproduces Configuration 4.  The spec's ``name`` is
+    the measurement's configuration label.
+    """
+    kernel, session = _prepare_nvariant_session(
+        workload, spec, multiplex=multiplex, kernel=kernel
+    )
+    result = session.run()
+    return _nvariant_measurement(kernel, workload, spec, result), result
+
+
+def drive_nvariant_many(
+    jobs: Sequence[tuple[WebBenchWorkload, SystemSpec]],
+    *,
+    multiplex: int = 1,
+) -> list[tuple[WorkloadMeasurement, NVariantResult]]:
+    """Run several (workload, spec) pairs concurrently on one engine.
+
+    Each job gets its own simulated host, so the interleaving cannot change
+    any job's measurement relative to :func:`drive_nvariant` -- the engine's
+    interleaving-determinism guarantee.  The experiment drivers (Table 3,
+    the ablations) use this to sweep their configurations through the engine
+    in one pass instead of looping serially.
+    """
+    kernels: list[SimulatedKernel] = []
+    sessions: list[NVariantSession] = []
+    for index, (workload, spec) in enumerate(jobs):
+        kernel, session = _prepare_nvariant_session(
+            workload, spec, multiplex=multiplex, name=f"many-{index}-{spec.name}"
+        )
+        kernels.append(kernel)
+        sessions.append(session)
+    engine_result = run_sessions(sessions, name="nvariant-many")
+    return [
+        (_nvariant_measurement(kernel, workload, spec, entry.result), entry.result)
+        for (workload, spec), kernel, entry in zip(jobs, kernels, engine_result.sessions)
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -19,16 +19,14 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.api.builders import build_system
-from repro.api.spec import ADDRESS_PARTITIONING_SPEC, SystemSpec
-from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
+from repro.api.builders import build_session
+from repro.api.spec import ADDRESS_PARTITIONING_SPEC, SINGLE_PROCESS_SPEC, SystemSpec
+from repro.apps.httpd.server import make_httpd_factory
 from repro.apps.httpd.vulnerable import BANNER_REGION_BASE
-from repro.attacks.outcomes import AttackOutcome, classify
+from repro.attacks.outcomes import AttackOutcome, PreparedAttack, classify
 from repro.attacks.payloads import banner_pointer_payload, benign_request
-from repro.core.nvariant import UIDCodec
 from repro.kernel.host import HTTP_PORT, build_standard_host
-from repro.kernel.libc import Libc
-from repro.kernel.scheduler import ProgramRunner
+from repro.kernel.kernel import SimulatedKernel
 
 #: An absolute address the attacker aims the banner pointer at: it lies in
 #: variant 0's partition (high bit clear), a few words into the banner region,
@@ -65,63 +63,96 @@ def standard_address_attacks() -> list[AddressInjectionAttack]:
     ]
 
 
-def run_address_attack_single(
-    attack: AddressInjectionAttack, *, configuration: str = "single-process"
-) -> AttackOutcome:
-    """Run the attack against the single-process server."""
-    kernel = build_standard_host()
+def _connect_attack_traffic(kernel: SimulatedKernel, attack: AddressInjectionAttack) -> None:
+    """Queue the Figure 1 request sequence: warm up, corrupt, trigger the use."""
     kernel.client_connect(HTTP_PORT, benign_request())
     kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
     kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
 
-    process = kernel.spawn_process("httpd")
-    server = MiniHttpd(
-        Libc(), UIDCodec.identity(), process.address_space, transformed=False, max_requests=3
-    )
-    result = ProgramRunner(kernel).run(process, server.run())
 
-    # Goal for the single process: the dereference of the attacker-chosen
-    # address went through (no crash) -- the attacker now controls what the
-    # server reads.
-    goal = result.exited_normally
-    crashed = not result.exited_normally
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=configuration,
-        kind=classify(goal_reached=goal, detected=False, crashed=crashed),
-        goal_reached=goal,
-        detected=False,
-        detail=f"fault={result.process.fault_reason}",
-    )
+def prepare_address_attack_single(
+    attack: AddressInjectionAttack, *, configuration: str = "single-process"
+) -> PreparedAttack:
+    """Prepare the attack against the single-process server (an N=1 session)."""
+
+    def start():
+        kernel = build_standard_host()
+        _connect_attack_traffic(kernel, attack)
+        factory = make_httpd_factory(transformed=False, max_requests=3)
+        return build_session(SINGLE_PROCESS_SPEC, kernel, factory, name="httpd")
+
+    def finish(session) -> AttackOutcome:
+        variant = session.result().variants[0]
+        # Goal for the single process: the dereference of the attacker-chosen
+        # address went through (no crash) -- the attacker now controls what
+        # the server reads.
+        goal = variant.exited_normally
+        crashed = not variant.exited_normally
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=configuration,
+            kind=classify(goal_reached=goal, detected=False, crashed=crashed),
+            goal_reached=goal,
+            detected=False,
+            detail=f"fault={variant.fault}",
+        )
+
+    return PreparedAttack(attack.name, configuration, start, finish)
 
 
-def run_address_attack_nvariant(
+def run_address_attack_single(
+    attack: AddressInjectionAttack, *, configuration: str = "single-process"
+) -> AttackOutcome:
+    """Run the attack against the single-process server."""
+    return prepare_address_attack_single(attack, configuration=configuration).run()
+
+
+def prepare_address_attack_nvariant(
     attack: AddressInjectionAttack,
     spec: SystemSpec = ADDRESS_PARTITIONING_SPEC,
-) -> AttackOutcome:
-    """Run the attack against a declaratively specified N-variant system.
+) -> PreparedAttack:
+    """Prepare the attack against a declaratively specified N-variant system.
 
     The default spec reproduces the address-partitioned 2-variant system of
     Figure 1; any spec whose stack contains the UID variation must set
     ``transformed=True``, since the untransformed server diverges on benign
     traffic under diversified UID representations.
     """
-    kernel = build_standard_host()
-    kernel.client_connect(HTTP_PORT, benign_request())
-    kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
-    kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
 
-    factory = make_httpd_factory(transformed=spec.transformed, max_requests=3)
-    system = build_system(spec, kernel, factory, name="httpd")
-    result = system.run()
+    def start():
+        kernel = build_standard_host()
+        _connect_attack_traffic(kernel, attack)
+        factory = make_httpd_factory(transformed=spec.transformed, max_requests=3)
+        return build_session(spec, kernel, factory, name="httpd")
 
-    detected = result.attack_detected
-    goal = not detected and all(v.exited_normally for v in result.variants)
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=spec.name,
-        kind=classify(goal_reached=goal, detected=detected),
-        goal_reached=goal,
-        detected=detected,
-        detail=result.first_alarm().describe() if detected else "no alarm",
-    )
+    def finish(session) -> AttackOutcome:
+        result = session.result()
+        detected = result.attack_detected
+        goal = not detected and all(v.exited_normally for v in result.variants)
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=spec.name,
+            kind=classify(goal_reached=goal, detected=detected),
+            goal_reached=goal,
+            detected=detected,
+            detail=result.first_alarm().describe() if detected else "no alarm",
+        )
+
+    return PreparedAttack(attack.name, spec.name, start, finish)
+
+
+def run_address_attack_nvariant(
+    attack: AddressInjectionAttack,
+    spec: SystemSpec = ADDRESS_PARTITIONING_SPEC,
+) -> AttackOutcome:
+    """Run the attack against a declaratively specified N-variant system."""
+    return prepare_address_attack_nvariant(attack, spec).run()
+
+
+def prepare_address_attack(
+    attack: AddressInjectionAttack, spec: SystemSpec
+) -> PreparedAttack:
+    """Prepare the appropriate cell for *attack* against the specified system."""
+    if not spec.redundant:
+        return prepare_address_attack_single(attack, configuration=spec.name)
+    return prepare_address_attack_nvariant(attack, spec)

@@ -4,6 +4,10 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import NVariantSession
 
 
 class OutcomeKind(enum.Enum):
@@ -44,6 +48,36 @@ class AttackOutcome:
             f"{self.attack:<32} vs {self.configuration:<28} -> {self.kind.value}"
             + (f" ({self.detail})" if self.detail else "")
         )
+
+
+@dataclasses.dataclass
+class PreparedAttack:
+    """One attack-x-configuration cell, ready to schedule.
+
+    ``start`` lazily builds the cell's private simulated host and returns the
+    resumable lockstep session; ``finish`` inspects the terminal session (and
+    whatever ``start`` captured, e.g. the kernel's connection log) and
+    produces the cell's :class:`AttackOutcome`.  Driving the session serially
+    or interleaved under the campaign scheduler yields identical outcomes --
+    the cell owns every bit of state it touches.
+    """
+
+    attack: str
+    configuration: str
+    start: Callable[[], "NVariantSession"]
+    finish: Callable[["NVariantSession"], AttackOutcome]
+
+    @property
+    def name(self) -> str:
+        """The cell's display name in campaign schedules."""
+        return f"{self.attack}@{self.configuration}"
+
+    def run(self) -> AttackOutcome:
+        """Run this one cell to completion (the serial path)."""
+        session = self.start()
+        while not session.done:
+            session.step()
+        return self.finish(session)
 
 
 def classify(*, goal_reached: bool, detected: bool, crashed: bool = False) -> OutcomeKind:

@@ -14,6 +14,16 @@ Two delivery mechanisms are modelled:
 Each attack can be run against a single-process server (where the paper's
 claim is that it succeeds) and against any N-variant configuration (where the
 UID variation must detect it, except in the documented high-bit blind spot).
+
+Every driver is split into a ``prepare_*`` half that builds a
+:class:`~repro.attacks.outcomes.PreparedAttack` -- a private kernel, a
+resumable :class:`~repro.engine.session.NVariantSession` and the outcome
+finalizer -- and a ``run_*`` half that simply drives the prepared cell to
+completion.  The campaign scheduler interleaves the same prepared cells, so
+serial and engine-parallel campaigns share one construction path and produce
+identical outcomes by construction.  The single-process deployments run as
+``num_variants=1`` sessions (the monitor degenerates to a no-op for N=1), so
+the engine is the only execution path left.
 """
 
 from __future__ import annotations
@@ -21,16 +31,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.api.builders import build_system
+from repro.api.builders import build_session
 from repro.api.spec import SINGLE_PROCESS_SPEC, SystemSpec, UID_DIVERSITY_SPEC
-from repro.apps.httpd.server import MiniHttpd, make_httpd_factory
-from repro.attacks.outcomes import AttackOutcome, OutcomeKind, classify
+from repro.apps.httpd.server import make_httpd_factory
+from repro.attacks.outcomes import AttackOutcome, OutcomeKind, PreparedAttack, classify
 from repro.attacks.payloads import benign_request, traversal_path, uid_overwrite_payload
 from repro.core.nvariant import UIDCodec, VariantContext
 from repro.kernel.host import HTTP_PORT, build_standard_host
 from repro.kernel.kernel import SimulatedKernel
-from repro.kernel.libc import Libc
-from repro.kernel.scheduler import ProgramRunner
 from repro.memory.corruption import CorruptionSpec
 
 #: Marker proving the attacker read /etc/shadow (see the standard host image).
@@ -124,6 +132,53 @@ def _attack_goal_reached(kernel: SimulatedKernel, marker: bytes = SHADOW_MARKER)
     return any(marker in conn.response_bytes() for conn in kernel.network.connections)
 
 
+def prepare_remote_attack_single(
+    attack: UIDAttack,
+    *,
+    transformed: bool = False,
+    warmup_requests: int = 1,
+    configuration: str | None = None,
+) -> PreparedAttack:
+    """Prepare a remote attack against the single-process server (no redundancy).
+
+    The undefended deployment runs as a ``num_variants=1`` session: with a
+    single variant the monitor can never observe a divergence, so the cell's
+    ``detected`` is structurally ``False`` -- exactly the paper's baseline.
+    """
+    if not attack.remote:
+        raise ValueError(f"{attack.name} is not a remote attack")
+    if configuration is None:
+        configuration = "single-process" + ("-transformed" if transformed else "")
+
+    def start():
+        kernel = build_standard_host()
+        for _ in range(warmup_requests):
+            kernel.client_connect(HTTP_PORT, benign_request())
+        kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
+        factory = make_httpd_factory(
+            transformed=transformed, max_requests=warmup_requests + 1
+        )
+        spec = dataclasses.replace(SINGLE_PROCESS_SPEC, transformed=transformed)
+        return build_session(spec, kernel, factory, name="httpd")
+
+    def finish(session) -> AttackOutcome:
+        result = session.result()
+        variant = result.variants[0]
+        goal = _attack_goal_reached(session.kernel, attack.goal_marker)
+        crashed = not variant.exited_normally
+        kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=configuration,
+            kind=kind,
+            goal_reached=goal,
+            detected=False,
+            detail=f"exit={variant.exit_code} fault={variant.fault}",
+        )
+
+    return PreparedAttack(attack.name, configuration, start, finish)
+
+
 def run_remote_attack_single(
     attack: UIDAttack,
     *,
@@ -132,36 +187,49 @@ def run_remote_attack_single(
     configuration: str | None = None,
 ) -> AttackOutcome:
     """Run a remote attack against the single-process server (no redundancy)."""
+    return prepare_remote_attack_single(
+        attack,
+        transformed=transformed,
+        warmup_requests=warmup_requests,
+        configuration=configuration,
+    ).run()
+
+
+def prepare_remote_attack_nvariant(
+    attack: UIDAttack,
+    spec: SystemSpec = UID_DIVERSITY_SPEC,
+    *,
+    warmup_requests: int = 1,
+) -> PreparedAttack:
+    """Prepare a remote attack against a declaratively specified N-variant system."""
     if not attack.remote:
         raise ValueError(f"{attack.name} is not a remote attack")
-    kernel = build_standard_host()
-    for _ in range(warmup_requests):
-        kernel.client_connect(HTTP_PORT, benign_request())
-    kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
 
-    process = kernel.spawn_process("httpd")
-    server = MiniHttpd(
-        Libc(),
-        UIDCodec.identity(),
-        process.address_space,
-        transformed=transformed,
-        max_requests=warmup_requests + 1,
-    )
-    result = ProgramRunner(kernel).run(process, server.run())
+    def start():
+        kernel = build_standard_host()
+        for _ in range(warmup_requests):
+            kernel.client_connect(HTTP_PORT, benign_request())
+        kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
+        factory = make_httpd_factory(
+            transformed=spec.transformed, max_requests=warmup_requests + 1
+        )
+        return build_session(spec, kernel, factory, name="httpd")
 
-    goal = _attack_goal_reached(kernel, attack.goal_marker)
-    crashed = not result.exited_normally
-    kind = classify(goal_reached=goal, detected=False, crashed=crashed)
-    if configuration is None:
-        configuration = "single-process" + ("-transformed" if transformed else "")
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=configuration,
-        kind=kind,
-        goal_reached=goal,
-        detected=False,
-        detail=f"exit={result.process.exit_code} fault={result.process.fault_reason}",
-    )
+    def finish(session) -> AttackOutcome:
+        result = session.result()
+        goal = _attack_goal_reached(session.kernel, attack.goal_marker)
+        detected = result.attack_detected
+        kind = classify(goal_reached=goal, detected=detected)
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=spec.name,
+            kind=kind,
+            goal_reached=goal,
+            detected=detected,
+            detail=result.first_alarm().describe() if detected else "no alarm",
+        )
+
+    return PreparedAttack(attack.name, spec.name, start, finish)
 
 
 def run_remote_attack_nvariant(
@@ -171,30 +239,9 @@ def run_remote_attack_nvariant(
     warmup_requests: int = 1,
 ) -> AttackOutcome:
     """Run a remote attack against a declaratively specified N-variant system."""
-    if not attack.remote:
-        raise ValueError(f"{attack.name} is not a remote attack")
-    kernel = build_standard_host()
-    for _ in range(warmup_requests):
-        kernel.client_connect(HTTP_PORT, benign_request())
-    kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
-
-    factory = make_httpd_factory(
-        transformed=spec.transformed, max_requests=warmup_requests + 1
-    )
-    system = build_system(spec, kernel, factory, name="httpd")
-    result = system.run()
-
-    goal = _attack_goal_reached(kernel, attack.goal_marker)
-    detected = result.attack_detected
-    kind = classify(goal_reached=goal, detected=detected)
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=spec.name,
-        kind=kind,
-        goal_reached=goal,
-        detected=detected,
-        detail=result.first_alarm().describe() if detected else "no alarm",
-    )
+    return prepare_remote_attack_nvariant(
+        attack, spec, warmup_requests=warmup_requests
+    ).run()
 
 
 # ---------------------------------------------------------------------------
@@ -264,6 +311,44 @@ def _corruption_probe_factory(attack: UIDAttack, *, transformed: bool):
     return factory
 
 
+def prepare_corruption_attack_single(
+    attack: UIDAttack,
+    *,
+    transformed: bool = False,
+    configuration: str | None = None,
+) -> PreparedAttack:
+    """Prepare an in-place corruption attack with no redundancy."""
+    if attack.remote:
+        raise ValueError(f"{attack.name} is a remote attack")
+    if configuration is None:
+        configuration = "single-process" + ("-transformed" if transformed else "")
+
+    def start():
+        kernel = build_standard_host()
+        return build_session(
+            SINGLE_PROCESS_SPEC,
+            kernel,
+            _corruption_probe_factory(attack, transformed=transformed),
+            name="probe",
+        )
+
+    def finish(session) -> AttackOutcome:
+        result = session.result()
+        goal = any(v.exit_code == 42 for v in result.variants)
+        crashed = any(not v.exited_normally for v in result.variants)
+        kind = classify(goal_reached=goal, detected=False, crashed=crashed)
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=configuration,
+            kind=kind,
+            goal_reached=goal,
+            detected=False,
+            detail=attack.corruption.describe(),
+        )
+
+    return PreparedAttack(attack.name, configuration, start, finish)
+
+
 def run_corruption_attack_single(
     attack: UIDAttack,
     *,
@@ -271,36 +356,16 @@ def run_corruption_attack_single(
     configuration: str | None = None,
 ) -> AttackOutcome:
     """Run an in-place corruption attack with no redundancy."""
-    if attack.remote:
-        raise ValueError(f"{attack.name} is a remote attack")
-    kernel = build_standard_host()
-    system = build_system(
-        SINGLE_PROCESS_SPEC,
-        kernel,
-        _corruption_probe_factory(attack, transformed=transformed),
-        name="probe",
-    )
-    result = system.run()
-    goal = any(v.exit_code == 42 for v in result.variants)
-    crashed = any(not v.exited_normally for v in result.variants)
-    kind = classify(goal_reached=goal, detected=False, crashed=crashed)
-    if configuration is None:
-        configuration = "single-process" + ("-transformed" if transformed else "")
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=configuration,
-        kind=kind,
-        goal_reached=goal,
-        detected=False,
-        detail=attack.corruption.describe(),
-    )
+    return prepare_corruption_attack_single(
+        attack, transformed=transformed, configuration=configuration
+    ).run()
 
 
-def run_corruption_attack_nvariant(
+def prepare_corruption_attack_nvariant(
     attack: UIDAttack,
     spec: SystemSpec = UID_DIVERSITY_SPEC,
-) -> AttackOutcome:
-    """Run an in-place corruption attack against a specified N-variant system.
+) -> PreparedAttack:
+    """Prepare an in-place corruption attack against a specified N-variant system.
 
     The corruption probe models the transformed build (the in-place threat
     model presumes the deployed data-diversity binary), so the probe is
@@ -308,37 +373,58 @@ def run_corruption_attack_nvariant(
     """
     if attack.remote:
         raise ValueError(f"{attack.name} is a remote attack")
-    kernel = build_standard_host()
-    system = build_system(
-        spec,
-        kernel,
-        _corruption_probe_factory(attack, transformed=True),
-        name="probe",
-    )
-    result = system.run()
-    goal = any(v.exit_code == 42 for v in result.variants)
-    detected = result.attack_detected
-    kind = classify(goal_reached=goal, detected=detected)
-    return AttackOutcome(
-        attack=attack.name,
-        configuration=spec.name,
-        kind=kind,
-        goal_reached=goal,
-        detected=detected,
-        detail=result.first_alarm().describe() if detected else attack.corruption.describe(),
+
+    def start():
+        kernel = build_standard_host()
+        return build_session(
+            spec,
+            kernel,
+            _corruption_probe_factory(attack, transformed=True),
+            name="probe",
+        )
+
+    def finish(session) -> AttackOutcome:
+        result = session.result()
+        goal = any(v.exit_code == 42 for v in result.variants)
+        detected = result.attack_detected
+        kind = classify(goal_reached=goal, detected=detected)
+        return AttackOutcome(
+            attack=attack.name,
+            configuration=spec.name,
+            kind=kind,
+            goal_reached=goal,
+            detected=detected,
+            detail=result.first_alarm().describe() if detected else attack.corruption.describe(),
+        )
+
+    return PreparedAttack(attack.name, spec.name, start, finish)
+
+
+def run_corruption_attack_nvariant(
+    attack: UIDAttack,
+    spec: SystemSpec = UID_DIVERSITY_SPEC,
+) -> AttackOutcome:
+    """Run an in-place corruption attack against a specified N-variant system."""
+    return prepare_corruption_attack_nvariant(attack, spec).run()
+
+
+def prepare_uid_attack(
+    attack: UIDAttack, spec: SystemSpec = UID_DIVERSITY_SPEC
+) -> PreparedAttack:
+    """Prepare the appropriate cell for *attack* against the specified system."""
+    if spec.redundant:
+        if attack.remote:
+            return prepare_remote_attack_nvariant(attack, spec)
+        return prepare_corruption_attack_nvariant(attack, spec)
+    if attack.remote:
+        return prepare_remote_attack_single(
+            attack, transformed=spec.transformed, configuration=spec.name
+        )
+    return prepare_corruption_attack_single(
+        attack, transformed=spec.transformed, configuration=spec.name
     )
 
 
 def run_uid_attack(attack: UIDAttack, spec: SystemSpec = UID_DIVERSITY_SPEC) -> AttackOutcome:
     """Dispatch an attack to the appropriate driver for the specified system."""
-    if spec.redundant:
-        if attack.remote:
-            return run_remote_attack_nvariant(attack, spec)
-        return run_corruption_attack_nvariant(attack, spec)
-    if attack.remote:
-        return run_remote_attack_single(
-            attack, transformed=spec.transformed, configuration=spec.name
-        )
-    return run_corruption_attack_single(
-        attack, transformed=spec.transformed, configuration=spec.name
-    )
+    return prepare_uid_attack(attack, spec).run()

@@ -20,8 +20,23 @@ Halt policies: each session applies the paper's halt-on-divergence policy to
 *itself* (``HaltPolicy.PER_SESSION``, the default -- an alarm stops the
 alarming session while its siblings keep serving), or the engine can apply the
 conservative fleet-wide policy (``HaltPolicy.HALT_ALL``).
+
+On top of the interleaving engine,
+:class:`~repro.engine.campaign.CampaignScheduler` runs *campaigns*: large
+batches of independent jobs (one attack x configuration cell each) admitted
+lazily through a bounded worker pool with batched lockstep rounds per
+scheduling turn.  It is the execution path behind
+:func:`repro.api.campaign.run_campaign`.
 """
 
+from repro.engine.campaign import (
+    CampaignExecutionResult,
+    CampaignHaltPolicy,
+    CampaignJob,
+    CampaignScheduler,
+    ScheduledJobResult,
+    run_jobs,
+)
 from repro.engine.scheduler import (
     EngineResult,
     HaltPolicy,
@@ -32,11 +47,17 @@ from repro.engine.scheduler import (
 from repro.engine.session import NVariantSession, SessionState
 
 __all__ = [
+    "CampaignExecutionResult",
+    "CampaignHaltPolicy",
+    "CampaignJob",
+    "CampaignScheduler",
     "EngineResult",
     "HaltPolicy",
     "MultiSessionEngine",
     "NVariantSession",
+    "ScheduledJobResult",
     "ScheduledSessionResult",
     "SessionState",
+    "run_jobs",
     "run_sessions",
 ]

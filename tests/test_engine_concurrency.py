@@ -217,6 +217,94 @@ class TestServerMultiplexing:
         assert parts[-1] == b"GET /b.html HTTP/1.0"
 
 
+@pytest.mark.slow
+class TestCampaignSchedulerStress:
+    """Fairness and fleet-halt behaviour of the campaign worker pool at scale."""
+
+    def _benign_job(self, index, requests=3):
+        from repro.engine.campaign import CampaignJob
+
+        def start():
+            _, session = _httpd_session(f"stress-{index}", _benign_payloads(requests))
+            return session
+
+        return CampaignJob(name=f"stress-{index}", start=start, finish=lambda s: s.state)
+
+    def _attack_job(self, index):
+        from repro.engine.campaign import CampaignJob
+
+        def start():
+            _, session = _httpd_session(
+                f"attack-{index}", [benign_request(), uid_overwrite_payload(0)]
+            )
+            return session
+
+        return CampaignJob(name=f"attack-{index}", start=start, finish=lambda s: s.state)
+
+    def test_32_interleaved_campaign_sessions_complete_without_starvation(self):
+        from repro.engine.campaign import CampaignScheduler
+
+        jobs = [self._benign_job(i, requests=1 + i % 4) for i in range(32)]
+        result = CampaignScheduler(jobs, parallelism=32, rounds_per_turn=2).run()
+
+        assert len(result.completed_jobs) == 32 and not result.skipped_jobs
+        assert all(job.value is SessionState.COMPLETED for job in result.jobs)
+        assert result.max_live_sessions == 32
+        # Fairness: round-robin never skips a live session for a whole turn,
+        # so no session's round count can lag a sibling admitted at the same
+        # time by more than one rounds_per_turn batch.
+        assert result.max_wait_turns == 0
+        # Scheduler efficiency: turns are bounded by the longest job's rounds
+        # divided by the batch size (plus the final bookkeeping turn).
+        longest = max(job.rounds for job in result.jobs)
+        assert result.scheduler_turns <= (longest + 1) // 2 + 2
+
+    def test_worker_pool_drains_a_deep_backlog(self):
+        from repro.engine.campaign import CampaignScheduler
+
+        jobs = [self._benign_job(i) for i in range(40)]
+        result = CampaignScheduler(jobs, parallelism=8).run()
+        assert len(result.completed_jobs) == 40
+        assert result.max_live_sessions == 8
+        assert result.max_wait_turns == 0
+        # Eight workers sharing identical jobs land close to an 8x win.
+        assert result.speedup() > 6.0
+
+    def test_fleet_wide_halt_stops_stragglers_and_skips_backlog(self):
+        from repro.engine.campaign import CampaignHaltPolicy, CampaignScheduler
+
+        # One attack session among long-running benign siblings, plus a
+        # backlog that must never start once the campaign halts.
+        jobs = (
+            [self._benign_job(i, requests=9) for i in range(6)]
+            + [self._attack_job(0)]
+            + [self._benign_job(100 + i, requests=9) for i in range(8)]
+        )
+        result = CampaignScheduler(
+            jobs,
+            parallelism=8,
+            rounds_per_turn=1,
+            halt_policy=CampaignHaltPolicy.HALT_CAMPAIGN,
+        ).run()
+
+        states = [job.state for job in result.jobs if not job.skipped]
+        assert SessionState.HALTED in states
+        # Stragglers live at the halt are stopped, not run to completion: the
+        # long benign sessions admitted alongside the attack must be halted,
+        # marked truncated, and carry no fabricated value.
+        siblings = [job for job in result.jobs[:6] if not job.skipped]
+        assert siblings
+        assert all(job.state is SessionState.HALTED for job in siblings)
+        assert all(job.truncated and job.value is None for job in siblings)
+        # The attack session itself halted on its own alarm: a real outcome.
+        attack_job = next(job for job in result.jobs if job.name == "attack-0")
+        assert not attack_job.truncated
+        assert attack_job.value is SessionState.HALTED
+        # The backlog past the worker pool is skipped entirely.
+        assert result.skipped_jobs
+        assert all(job.state is None for job in result.skipped_jobs)
+
+
 class TestEngineMechanics:
     def test_stepping_matches_single_shot_run(self):
         _, stepped = _httpd_session("stepped", _benign_payloads(2))
