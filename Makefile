@@ -1,13 +1,17 @@
 # Developer/CI entry points.
 #
-#   make test           -- the tier-1 verification suite (tests/ only; slow-marked
-#                          suites are deselected via pytest.ini)
-#   make check          -- tier-1 tests + a CLI scenario smoke run (CI gate)
-#   make check-parallel -- tier-1 + the slow parity/stress suites + a smoke run
-#                          of the campaign-throughput benchmark
-#   make bench          -- every paper-table/figure benchmark, with timing
-#   make bench-smoke    -- every benchmark once, no timing (fast CI exercise)
-#   make examples       -- run each example script end to end
+#   make test             -- the tier-1 verification suite (tests/ only; slow-marked
+#                            suites are deselected via pytest.ini)
+#   make check            -- tier-1 tests + CLI scenario smoke + experiments smoke
+#                            (CI gate)
+#   make check-parallel   -- tier-1 + the slow parity/stress suites + a smoke run
+#                            of the campaign-throughput benchmark
+#   make experiments-smoke -- every registered experiment at its smallest spec,
+#                            via the CLI (claims gate the exit code)
+#   make bench            -- every benchmark, with timing; each writes
+#                            benchmarks/results/BENCH_<name>.json
+#   make bench-smoke      -- every benchmark once, no timing (fast CI exercise)
+#   make examples         -- run each example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -15,16 +19,29 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCHES := $(wildcard benchmarks/bench_*.py)
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test check check-parallel bench bench-smoke examples
+.PHONY: test check check-parallel experiments-smoke bench bench-smoke examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test
+check: test experiments-smoke
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
-	@echo "check ok: tier-1 tests + CLI scenario smoke"
+	$(PYTHON) -m repro run examples/scenarios/table3.json > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/ablations.json > /dev/null
+	@echo "check ok: tier-1 tests + experiments smoke + CLI scenario smoke"
+
+# Every registered experiment at its smallest meaningful parameters, through
+# the same CLI path users take; a failed claim fails the target, and so does
+# a broken (or empty) registry listing.
+experiments-smoke:
+	@set -e; names=$$($(PYTHON) -m repro experiments --names); \
+	test -n "$$names" || { echo "experiments-smoke: no experiments listed" >&2; exit 1; }; \
+	for name in $$names; do \
+		echo "== experiment $$name (smoke)"; \
+		$(PYTHON) -m repro experiment $$name --smoke > /dev/null; \
+	done; echo "experiments-smoke ok: every registered experiment ran clean"
 
 # The engine-parallel gate: the serial-parity property suite and the
 # scheduler stress tests (both marked `slow`, deselected from tier-1), then

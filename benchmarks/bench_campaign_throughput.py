@@ -12,7 +12,7 @@ campaign while producing byte-identical per-cell outcomes, with no scheduler
 starvation.
 """
 
-from conftest import emit
+from conftest import emit, write_results
 
 from repro.api.campaign import run_campaign
 from repro.api.spec import STANDARD_SYSTEM_SPECS, UID_ORBIT_3_SPEC
@@ -75,3 +75,25 @@ def test_campaign_throughput_scaling(benchmark):
         serial.execution.virtual_elapsed / results[8].execution.virtual_elapsed
     )
     assert speedup >= 3.0, speedup
+
+    write_results(
+        "campaign_throughput",
+        {
+            "config": {
+                "systems": [spec.to_dict() for spec in SPECS],
+                "parallelisms": list(PARALLELISMS),
+            },
+            "rows": [
+                {
+                    "parallelism": parallelism,
+                    "cells": len(report.execution.jobs),
+                    "virtual_elapsed": report.execution.virtual_elapsed,
+                    "virtual_elapsed_sequential": report.execution.virtual_elapsed_sequential,
+                    "speedup": round(report.execution.speedup(), 3),
+                    "scheduler_turns": report.execution.scheduler_turns,
+                }
+                for parallelism, report in results.items()
+            ],
+            "speedup_at_8_workers": round(speedup, 3),
+        },
+    )

@@ -7,7 +7,7 @@ aggregate requests/sec at 8 concurrent sessions is at least 4x the
 single-session baseline, with zero spurious alarms on the benign workload.
 """
 
-from conftest import emit
+from conftest import emit, write_results
 
 from repro.api.spec import ADDRESS_UID_SPEC, FleetSpec, WorkloadSpec
 from repro.apps.clients.webbench import drive_engine
@@ -97,6 +97,28 @@ def test_engine_throughput_scaling(benchmark):
     baseline = results[1].requests_per_kilotick()
     concurrent = results[8].requests_per_kilotick()
     assert concurrent >= 4.0 * baseline, (baseline, concurrent)
+
+    write_results(
+        "engine_throughput",
+        {
+            "config": {
+                "system": SYSTEM.to_dict(),
+                "requests_per_session": REQUESTS_PER_SESSION,
+                "session_counts": list(SESSION_COUNTS),
+            },
+            "rows": [
+                {
+                    "sessions": sessions,
+                    "requests_completed": measurement.requests_completed,
+                    "alarms": measurement.alarms,
+                    "requests_per_kilotick": round(measurement.requests_per_kilotick(), 3),
+                    "speedup": round(measurement.speedup(), 3),
+                }
+                for sessions, measurement in results.items()
+            ],
+            "speedup_at_8_sessions": round(concurrent / baseline, 3),
+        },
+    )
 
 
 def test_engine_keepalive_multiplexing(benchmark):

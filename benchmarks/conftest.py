@@ -4,13 +4,31 @@ Each benchmark regenerates one table or figure of the paper; the formatted
 output is printed (visible with ``pytest benchmarks/ --benchmark-only -s``)
 and the paper's qualitative claims are asserted so a regression in the
 reproduction fails the harness rather than silently producing a different
-table.
+table.  Every benchmark also persists a machine-readable result --
+``benchmarks/results/BENCH_<name>.json`` -- so the performance trajectory is
+diffable across PRs instead of living only in terminal scrollback.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+#: Where the machine-readable benchmark results land (committed, one file per
+#: benchmark, overwritten on every run).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def emit(title: str, text: str) -> None:
     """Print a formatted experiment report under a clear banner."""
     banner = "=" * len(title)
     print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+def write_results(name: str, payload: Mapping[str, Any]) -> Path:
+    """Write one benchmark's machine-readable result as ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(dict(payload), indent=2, sort_keys=True) + "\n")
+    return path

@@ -10,11 +10,13 @@ point.
 """
 
 from repro.analysis.experiments import table3
+from repro.api.experiments import experiments
 
 
 def main() -> None:
-    result = table3.run(requests=40)
-    print(result.format())
+    report = experiments.run("table3", {"requests": 40})
+    result = report.result
+    print(report.format())
     print()
 
     print("Workload-size sweep (saturated throughput drop vs configuration 1):")

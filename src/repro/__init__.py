@@ -18,9 +18,11 @@ The package is organised as the paper's system is layered:
   (Section 3.3 / Section 4 change accounting).
 * :mod:`repro.apps` -- the mini Apache case-study server and the
   WebBench-style workload generator.
-* :mod:`repro.attacks` -- the attack library and campaign runner.
+* :mod:`repro.attacks` -- the attack library (campaigns run through
+  :func:`repro.api.campaign.run_campaign`).
 * :mod:`repro.analysis` -- virtual-time performance model, metrics, and one
-  experiment driver per paper table/figure.
+  registered experiment per paper table/figure (see
+  :mod:`repro.api.experiments`).
 
 The documented import path for the scenario API is this top-level package::
 
@@ -34,6 +36,8 @@ from repro.api import (
     ADDRESS_PARTITIONING_SPEC,
     ADDRESS_UID_SPEC,
     CampaignReport,
+    ExperimentReport,
+    ExperimentSpec,
     FleetSpec,
     SINGLE_PROCESS_SPEC,
     STANDARD_SYSTEM_SPECS,
@@ -49,6 +53,7 @@ from repro.api import (
     build_session,
     build_system,
     build_variations,
+    experiments,
     prepare_attack,
     registry,
     run_attack,
@@ -60,6 +65,8 @@ __all__ = [
     "ADDRESS_PARTITIONING_SPEC",
     "ADDRESS_UID_SPEC",
     "CampaignReport",
+    "ExperimentReport",
+    "ExperimentSpec",
     "FleetSpec",
     "SINGLE_PROCESS_SPEC",
     "STANDARD_SYSTEM_SPECS",
@@ -76,6 +83,7 @@ __all__ = [
     "build_session",
     "build_system",
     "build_variations",
+    "experiments",
     "prepare_attack",
     "registry",
     "run_attack",

@@ -1,8 +1,13 @@
 """One experiment driver per paper table/figure plus the ablation suite.
 
 Each module exposes ``run()`` returning a structured result with a
-``format()`` method; the benchmark harness in ``benchmarks/`` wraps these and
-EXPERIMENTS.md records their output.
+``to_report()`` method, and an ``experiment()`` entry point registered in
+:data:`repro.api.experiments.experiments` that returns the shared
+:class:`~repro.api.experiments.ExperimentReport`.  The CLI
+(``python -m repro experiment <name>``), JSON scenarios
+(``{"scenario": "experiment", ...}``) and the benchmark harness all run
+experiments through that registry rather than importing these modules
+one-by-one.
 
 * :mod:`~repro.analysis.experiments.table1` -- reexpression functions.
 * :mod:`~repro.analysis.experiments.table2` -- detection system calls.

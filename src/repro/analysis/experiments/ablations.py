@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_key_values
 from repro.api.builders import build_session
+from repro.api.experiments import ExperimentReport, ReportKeyValues
 from repro.api.spec import SystemSpec, UID_DIVERSITY_SPEC, VariationSpec
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant_many
 from repro.core.reexpression import sample_domain
@@ -58,27 +58,33 @@ class DetectionLatencyResult:
     without_detection_calls: int | None
     user_space_uses: int
 
-    def format(self) -> str:
-        """Render the comparison."""
-        return render_key_values(
-            [
-                ("user-space UID uses between corruption and the kernel call", self.user_space_uses),
+    @property
+    def detects_strictly_earlier(self) -> bool:
+        """Detection syscalls alarm before syscall-boundary monitoring does."""
+        return (
+            self.with_detection_calls is not None
+            and self.without_detection_calls is not None
+            and self.with_detection_calls < self.without_detection_calls
+        )
+
+    def section(self) -> ReportKeyValues:
+        """This ablation's comparison as a report section."""
+        return ReportKeyValues(
+            title="Ablation 1: detection syscalls vs syscall-boundary monitoring",
+            pairs=(
+                (
+                    "user-space UID uses between corruption and the kernel call",
+                    str(self.user_space_uses),
+                ),
                 (
                     "rounds from corruption to alarm (with detection syscalls)",
-                    self.with_detection_calls,
+                    str(self.with_detection_calls),
                 ),
                 (
                     "rounds from corruption to alarm (syscall-boundary monitoring only)",
-                    self.without_detection_calls,
+                    str(self.without_detection_calls),
                 ),
-                (
-                    "detection syscalls detect strictly earlier",
-                    self.with_detection_calls is not None
-                    and self.without_detection_calls is not None
-                    and self.with_detection_calls < self.without_detection_calls,
-                ),
-            ],
-            title="Ablation 1: detection syscalls vs syscall-boundary monitoring",
+            ),
         )
 
 
@@ -174,27 +180,30 @@ class MaskAblationResult:
     paper_mask_high_bit_blind_spot: bool
     full_flip_closes_blind_spot: bool
 
-    def format(self) -> str:
-        """Render the comparison."""
-        return render_key_values(
-            [
+    def section(self) -> ReportKeyValues:
+        """This ablation's comparison as a report section."""
+        return ReportKeyValues(
+            title="Ablation 2: reexpression mask (0x7FFFFFFF vs 0xFFFFFFFF)",
+            pairs=(
                 (
                     "XOR 0xFFFFFFFF variant fails on a benign workload (kernel rejects "
                     "sign-bit UIDs)",
-                    self.full_flip_breaks_normal_operation,
+                    str(self.full_flip_breaks_normal_operation),
                 ),
-                ("alarms raised by the full-flip configuration", self.full_flip_alarms),
-                ("XOR 0x7FFFFFFF variant serves the benign workload", self.paper_mask_serves_normally),
+                ("alarms raised by the full-flip configuration", str(self.full_flip_alarms)),
+                (
+                    "XOR 0x7FFFFFFF variant serves the benign workload",
+                    str(self.paper_mask_serves_normally),
+                ),
                 (
                     "XOR 0x7FFFFFFF cannot detect a corruption confined to the sign bit",
-                    self.paper_mask_high_bit_blind_spot,
+                    str(self.paper_mask_high_bit_blind_spot),
                 ),
                 (
                     "XOR 0xFFFFFFFF would detect that corruption (analytically)",
-                    self.full_flip_closes_blind_spot,
+                    str(self.full_flip_closes_blind_spot),
                 ),
-            ],
-            title="Ablation 2: reexpression mask (0x7FFFFFFF vs 0xFFFFFFFF)",
+            ),
         )
 
 
@@ -249,25 +258,20 @@ class ExternalDataAblationResult:
     unshared_files_detects_injection: bool
     in_process_reexpression_detects_injection: bool
 
-    def format(self) -> str:
-        """Render the comparison."""
-        return render_key_values(
-            [
+    def section(self) -> ReportKeyValues:
+        """This ablation's comparison as a report section."""
+        return ReportKeyValues(
+            title="Ablation 3: unshared files vs in-process reexpression",
+            pairs=(
                 (
                     "injected UID detected when external data comes from unshared files",
-                    self.unshared_files_detects_injection,
+                    str(self.unshared_files_detects_injection),
                 ),
                 (
                     "injected UID detected when the process reexpresses external data itself",
-                    self.in_process_reexpression_detects_injection,
+                    str(self.in_process_reexpression_detects_injection),
                 ),
-                (
-                    "unshared files close the bypass (paper's design choice justified)",
-                    self.unshared_files_detects_injection
-                    and not self.in_process_reexpression_detects_injection,
-                ),
-            ],
-            title="Ablation 3: unshared files vs in-process reexpression",
+            ),
         )
 
 
@@ -310,17 +314,52 @@ class AblationSuiteResult:
     mask: MaskAblationResult
     external_data: ExternalDataAblationResult
 
-    def format(self) -> str:
-        """Render every ablation."""
-        return "\n\n".join(
-            [self.detection_latency.format(), self.mask.format(), self.external_data.format()]
+    def claim_results(self) -> dict[str, bool]:
+        """The design-choice justifications, checked against the ablations."""
+        return {
+            "detection syscalls detect strictly earlier than syscall-boundary "
+            "monitoring": self.detection_latency.detects_strictly_earlier,
+            "the paper's 31-bit mask serves the benign workload": (
+                self.mask.paper_mask_serves_normally
+            ),
+            "the full 32-bit flip breaks normal operation": (
+                self.mask.full_flip_breaks_normal_operation
+            ),
+            "the 31-bit mask has the documented sign-bit blind spot": (
+                self.mask.paper_mask_high_bit_blind_spot
+            ),
+            "the full flip would close the blind spot (analytically)": (
+                self.mask.full_flip_closes_blind_spot
+            ),
+            "unshared files close the in-process reexpression bypass": (
+                self.external_data.unshared_files_detects_injection
+                and not self.external_data.in_process_reexpression_detects_injection
+            ),
+        }
+
+    def to_report(self) -> ExperimentReport:
+        """All three ablations as one shared experiment report."""
+        return ExperimentReport(
+            title="Design-choice ablations",
+            sections=(
+                self.detection_latency.section(),
+                self.mask.section(),
+                self.external_data.section(),
+            ),
+            claims=self.claim_results(),
+            result=self,
         )
 
 
-def run() -> AblationSuiteResult:
+def run(*, user_space_uses: int = 5, requests: int = 4) -> AblationSuiteResult:
     """Run all ablations."""
     return AblationSuiteResult(
-        detection_latency=run_detection_latency(),
-        mask=run_mask_ablation(),
+        detection_latency=run_detection_latency(user_space_uses),
+        mask=run_mask_ablation(requests),
         external_data=run_external_data_ablation(),
     )
+
+
+def experiment(*, user_space_uses: int = 5, requests: int = 4) -> ExperimentReport:
+    """Registry entry point: run the suite, return the shared report."""
+    return run(user_space_uses=user_space_uses, requests=requests).to_report()

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_table
 from repro.api.campaign import CampaignReport, run_campaign
+from repro.api.experiments import ExperimentReport, ReportTable
 from repro.api.spec import (
     ADDRESS_PARTITIONING_SPEC,
     SINGLE_PROCESS_SPEC,
@@ -93,39 +93,53 @@ class DetectionMatrixResult:
         """True when every reproduced claim holds."""
         return all(self.claim_results().values())
 
-    def format(self) -> str:
-        """Render the matrix and the claim evaluation."""
+    def to_report(self) -> ExperimentReport:
+        """The matrix and claim evaluation as a shared experiment report."""
         matrix = self.uid_report.matrix()
         configurations = sorted({o.configuration for o in self.uid_report.outcomes})
         rows = [
             [attack] + [matrix[attack].get(configuration, "-") for configuration in configurations]
             for attack in matrix
         ]
-        table = render_table(
-            ["UID attack"] + configurations,
-            rows,
+        uid_table = ReportTable(
             title="Detection matrix: UID corruption attacks",
+            headers=("UID attack", *configurations),
+            rows=tuple(tuple(row) for row in rows),
         )
-        address_rows = [
-            [o.attack, o.configuration, o.kind.value] for o in self.address_report.outcomes
-        ]
-        address_table = render_table(
-            ["Address attack", "Configuration", "Outcome"],
-            address_rows,
+        address_table = ReportTable(
             title="Detection matrix: address injection",
+            headers=("Address attack", "Configuration", "Outcome"),
+            rows=tuple(
+                (o.attack, o.configuration, o.kind.value)
+                for o in self.address_report.outcomes
+            ),
         )
-        code_rows = [
-            [o.attack, o.configuration, o.kind.value] for o in self.code_injection_outcomes
-        ]
-        code_table = render_table(
-            ["Code-injection attack", "Configuration", "Outcome"],
-            code_rows,
+        code_table = ReportTable(
             title="Detection matrix: code injection",
+            headers=("Code-injection attack", "Configuration", "Outcome"),
+            rows=tuple(
+                (o.attack, o.configuration, o.kind.value)
+                for o in self.code_injection_outcomes
+            ),
         )
-        lines = [table, "", address_table, "", code_table, "", "Claims:"]
-        for claim, holds in self.claim_results().items():
-            lines.append(f"  [{'ok' if holds else 'FAIL'}] {claim}")
-        return "\n".join(lines)
+        telemetry = {}
+        execution = self.uid_report.execution
+        if execution is not None:
+            telemetry.update(
+                {
+                    "campaign_parallelism": execution.parallelism,
+                    "campaign_cells": len(execution.jobs),
+                    "campaign_virtual_elapsed": execution.virtual_elapsed,
+                    "campaign_speedup": round(execution.speedup(), 2),
+                }
+            )
+        return ExperimentReport(
+            title="Detection matrix (the paper's central security claims)",
+            sections=(uid_table, address_table, code_table),
+            claims=self.claim_results(),
+            telemetry=telemetry,
+            result=self,
+        )
 
 
 def run(*, parallelism: int = 1) -> DetectionMatrixResult:
@@ -154,3 +168,8 @@ def run(*, parallelism: int = 1) -> DetectionMatrixResult:
         address_report=address_report,
         code_injection_outcomes=code_outcomes,
     )
+
+
+def experiment(*, parallelism: int = 1) -> ExperimentReport:
+    """Registry entry point: run the matrix, return the shared report."""
+    return run(parallelism=parallelism).to_report()

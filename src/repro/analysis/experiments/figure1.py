@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_key_values
+from repro.api.experiments import ExperimentReport, ReportKeyValues
 from repro.api.spec import ADDRESS_PARTITIONING_SPEC
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
 from repro.attacks.memory_attacks import (
@@ -39,8 +39,8 @@ class Figure1Result:
         """Figure 1's claim: benign traffic equivalent, injections detected."""
         return self.equivalence.holds and all(o.detected for o in self.nvariant_outcomes)
 
-    def format(self) -> str:
-        """Render the scenario outcomes."""
+    def to_report(self) -> ExperimentReport:
+        """The scenario outcomes as a shared experiment report."""
         pairs = [
             ("normal equivalence on benign requests", self.equivalence.describe()),
             ("benign response statuses", dict(sorted(self.benign_statuses.items()))),
@@ -48,9 +48,32 @@ class Figure1Result:
         for outcome in self.single_outcomes:
             pairs.append((f"single process vs {outcome.attack}", outcome.kind.value))
         for outcome in self.nvariant_outcomes:
-            pairs.append((f"2-variant partitioned vs {outcome.attack}", f"{outcome.kind.value} ({outcome.detail})"))
-        pairs.append(("figure 1 claim reproduced", self.reproduces_figure))
-        return render_key_values(pairs, title="Figure 1. Two-variant address partitioning")
+            pairs.append(
+                (
+                    f"2-variant partitioned vs {outcome.attack}",
+                    f"{outcome.kind.value} ({outcome.detail})",
+                )
+            )
+        section = ReportKeyValues(
+            title="Figure 1. Two-variant address partitioning",
+            pairs=tuple((key, str(value)) for key, value in pairs),
+        )
+        claims = {
+            "benign requests are served equivalently": self.equivalence.holds,
+            "address injection succeeds against the single process": any(
+                o.goal_reached for o in self.single_outcomes
+            ),
+            "every injection is detected under partitioning": all(
+                o.detected for o in self.nvariant_outcomes
+            ),
+            "figure 1 claim reproduced": self.reproduces_figure,
+        }
+        return ExperimentReport(
+            title="Figure 1: two-variant address partitioning",
+            sections=(section,),
+            claims=claims,
+            result=self,
+        )
 
 
 def run(benign_requests: int = 8) -> Figure1Result:
@@ -80,3 +103,8 @@ def run(benign_requests: int = 8) -> Figure1Result:
         single_outcomes=single_outcomes,
         nvariant_outcomes=nvariant_outcomes,
     )
+
+
+def experiment(*, benign_requests: int = 8) -> ExperimentReport:
+    """Registry entry point: run the scenario, return the shared report."""
+    return run(benign_requests=benign_requests).to_report()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_key_values
+from repro.api.experiments import ExperimentReport, ReportKeyValues
 from repro.api.spec import UID_DIVERSITY_SPEC
 from repro.apps.clients.webbench import WebBenchWorkload, drive_nvariant
 from repro.core.pipeline import (
@@ -57,20 +57,42 @@ class Figure2Result:
             and self.system_alarms == 0
         )
 
-    def format(self) -> str:
-        """Render the traces."""
-        pairs = [
-            ("benign trusted value, concrete per variant", self.benign_concrete),
-            ("benign trusted value, decoded at target", self.benign_decoded),
-            ("benign flow detected (should be False)", self.benign_detected),
-            ("injected value, decoded at target", self.attack_decoded),
-            ("injection detected (should be True)", self.attack_detected),
-            ("www-data uid in /etc/passwd-0 vs /etc/passwd-1", self.variant_passwd_uids),
-            ("kernel euid after privilege drop, per variant", self.kernel_euids_after_drop),
-            ("alarms during benign end-to-end run", self.system_alarms),
-            ("figure 2 claim reproduced", self.reproduces_figure),
-        ]
-        return render_key_values(pairs, title="Figure 2. N-variant systems with data diversity")
+    def to_report(self) -> ExperimentReport:
+        """The traces as a shared experiment report."""
+        section = ReportKeyValues(
+            title="Figure 2. N-variant systems with data diversity",
+            pairs=(
+                ("benign trusted value, concrete per variant", str(self.benign_concrete)),
+                ("benign trusted value, decoded at target", str(self.benign_decoded)),
+                ("injected value, decoded at target", str(self.attack_decoded)),
+                (
+                    "www-data uid in /etc/passwd-0 vs /etc/passwd-1",
+                    str(self.variant_passwd_uids),
+                ),
+                (
+                    "kernel euid after privilege drop, per variant",
+                    str(self.kernel_euids_after_drop),
+                ),
+                ("alarms during benign end-to-end run", str(self.system_alarms)),
+            ),
+        )
+        claims = {
+            "benign trusted data flows through undetected": not self.benign_detected,
+            "replicated injected data is detected": self.attack_detected,
+            "per-variant passwd representations differ": (
+                self.variant_passwd_uids[0] != self.variant_passwd_uids[1]
+            ),
+            "decoded kernel euids agree across variants": (
+                len(set(self.kernel_euids_after_drop)) == 1
+            ),
+            "figure 2 claim reproduced": self.reproduces_figure,
+        }
+        return ExperimentReport(
+            title="Figure 2: N-variant systems with data diversity",
+            sections=(section,),
+            claims=claims,
+            result=self,
+        )
 
 
 def run() -> Figure2Result:
@@ -113,3 +135,8 @@ def run() -> Figure2Result:
         kernel_euids_after_drop=euids,
         system_alarms=len(result.alarms),
     )
+
+
+def experiment() -> ExperimentReport:
+    """Registry entry point: run the scenario, return the shared report."""
+    return run().to_report()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_table
+from repro.api.experiments import ExperimentReport, ReportKeyValues, ReportTable
 from repro.apps.httpd.csource import HTTPD_UID_SOURCE
 from repro.core.variations.uid import UIDVariation
 from repro.transform.printer import print_unit
@@ -36,19 +36,39 @@ class Section4Result:
         """True: no manual edits were needed to produce the variant source."""
         return True
 
-    def format(self) -> str:
-        """Render the change-count comparison table."""
-        rows = [
-            [category, ours, paper]
-            for category, ours, paper in self.report.comparison_rows()
-        ]
-        table = render_table(
-            ["Change category", "mini-httpd (automatic)", "Apache (paper, manual)"],
-            rows,
+    def to_report(self) -> ExperimentReport:
+        """The change-count comparison as a shared experiment report."""
+        table = ReportTable(
             title="Section 4. Source transformation effort",
+            headers=("Change category", "mini-httpd (automatic)", "Apache (paper, manual)"),
+            rows=tuple(
+                (str(category), str(ours), str(paper))
+                for category, ours, paper in self.report.comparison_rows()
+            ),
         )
         implicit = self.report.total - self.report.total_paper_categories
-        return table + f"\nimplicit comparisons made explicit first: {implicit}"
+        extra = ReportKeyValues(
+            title="Transformation accounting",
+            pairs=(
+                ("implicit comparisons made explicit first", str(implicit)),
+                ("total changes (paper categories)", str(self.report.total_paper_categories)),
+            ),
+        )
+        claims = {
+            "the transformation is fully automatic": self.fully_automatic,
+            "every paper change category is exercised": all(
+                ours > 0 for _, ours, _ in self.report.comparison_rows()
+            ),
+            "the transformed source differs from the original": (
+                self.transformed_source != self.original_source
+            ),
+        }
+        return ExperimentReport(
+            title="Section 4: source transformation effort",
+            sections=(table, extra),
+            claims=claims,
+            result=self,
+        )
 
 
 def run() -> Section4Result:
@@ -60,6 +80,11 @@ def run() -> Section4Result:
         original_source=HTTPD_UID_SOURCE,
         transformed_source=print_unit(unit),
     )
+
+
+def experiment() -> ExperimentReport:
+    """Registry entry point: run the transformation, return the shared report."""
+    return run().to_report()
 
 
 #: Re-exported for docs: the paper's numbers.

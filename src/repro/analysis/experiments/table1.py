@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_table
+from repro.api.experiments import ExperimentReport, ReportKeyValues, ReportTable
 from repro.core.properties import check_variation_reexpression
 from repro.core.reexpression import PropertyReport, sample_domain
 from repro.core.variations import (
@@ -52,18 +52,34 @@ class Table1Result:
         """True when every variation satisfies inverse and disjointedness."""
         return all(row.all_properties_hold for row in self.rows)
 
-    def format(self) -> str:
-        """Render the table plus the property-check summary."""
-        table = render_table(
-            ["Variation", "Target Type", "Reexpression Functions", "Inverse Functions"],
-            [[row.variation, row.target_type, row.reexpression, row.inverse] for row in self.rows],
+    def to_report(self) -> ExperimentReport:
+        """The table plus property checks as a shared experiment report."""
+        table = ReportTable(
             title="Table 1. Reexpression Functions",
+            headers=("Variation", "Target Type", "Reexpression Functions", "Inverse Functions"),
+            rows=tuple(
+                (row.variation, row.target_type, row.reexpression, row.inverse)
+                for row in self.rows
+            ),
         )
-        lines = [table, "", "Property checks (inverse and disjointedness):"]
-        for row in self.rows:
-            for report in row.property_reports:
-                lines.append(f"  {row.variation:32s} {report.describe()}")
-        return "\n".join(lines)
+        checks = ReportKeyValues(
+            title="Property checks (inverse and disjointedness)",
+            pairs=tuple(
+                (row.variation, report.describe())
+                for row in self.rows
+                for report in row.property_reports
+            ),
+        )
+        claims = {
+            f"{row.variation} satisfies inverse and disjointedness": row.all_properties_hold
+            for row in self.rows
+        }
+        return ExperimentReport(
+            title="Table 1: reexpression functions and their properties",
+            sections=(table, checks),
+            claims=claims,
+            result=self,
+        )
 
 
 def _variations() -> list[Variation]:
@@ -98,3 +114,8 @@ def run(sample_count: int = 2048) -> Table1Result:
             )
         )
     return Table1Result(rows=rows)
+
+
+def experiment(*, sample_count: int = 2048) -> ExperimentReport:
+    """Registry entry point: run the table, return the shared report."""
+    return run(sample_count=sample_count).to_report()

@@ -15,8 +15,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.tables import render_table
 from repro.api.builders import build_session
+from repro.api.experiments import ExperimentReport, ReportTable
 from repro.api.spec import UID_DIVERSITY_SPEC
 from repro.engine import run_sessions
 from repro.core.alarm import AlarmType
@@ -52,28 +52,39 @@ class Table2Result:
         """True when every detection call behaves as specified."""
         return all(check.behaves_correctly for check in self.checks)
 
-    def format(self) -> str:
-        """Render the table and the behaviour summary."""
-        table = render_table(
-            ["Function Signature", "Description"],
-            [[check.spec.signature, check.spec.description] for check in self.checks],
+    def to_report(self) -> ExperimentReport:
+        """The table and behaviour summary as a shared experiment report."""
+        table = ReportTable(
             title="Table 2. Detection System Calls",
+            headers=("Function Signature", "Description"),
+            rows=tuple(
+                (check.spec.signature, check.spec.description) for check in self.checks
+            ),
         )
-        rows = [
-            [
-                check.spec.syscall.value,
-                "silent" if not check.benign_alarm else "FALSE ALARM",
-                "alarm" if check.attack_alarm else "MISSED",
-                check.attack_alarm_type,
-            ]
-            for check in self.checks
-        ]
-        behaviour = render_table(
-            ["Call", "Benign data", "Injected data", "Alarm type"],
-            rows,
+        behaviour = ReportTable(
             title="Live behaviour in a 2-variant UID system",
+            headers=("Call", "Benign data", "Injected data", "Alarm type"),
+            rows=tuple(
+                (
+                    check.spec.syscall.value,
+                    "silent" if not check.benign_alarm else "FALSE ALARM",
+                    "alarm" if check.attack_alarm else "MISSED",
+                    check.attack_alarm_type,
+                )
+                for check in self.checks
+            ),
         )
-        return table + "\n\n" + behaviour
+        claims = {
+            f"{check.spec.syscall.value} is silent on benign data and alarms on "
+            "injected data": check.behaves_correctly
+            for check in self.checks
+        }
+        return ExperimentReport(
+            title="Table 2: detection system calls, exercised live",
+            sections=(table, behaviour),
+            claims=claims,
+            result=self,
+        )
 
 
 def _probe_factory(syscall: Syscall, *, injected: bool):
@@ -139,3 +150,8 @@ def run() -> Table2Result:
             )
         )
     return Table2Result(checks=checks)
+
+
+def experiment() -> ExperimentReport:
+    """Registry entry point: run the table, return the shared report."""
+    return run().to_report()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.analysis.perfmodel import PerfPoint, PerformanceModel, percent_change
-from repro.analysis.tables import render_table
+from repro.api.experiments import ExperimentReport, ReportKeyValues, ReportTable
 from repro.api.spec import ADDRESS_PARTITIONING_SPEC, ADDRESS_UID_SPEC
 from repro.apps.clients.webbench import (
     SATURATED_WORKLOAD,
@@ -112,47 +112,64 @@ class Table3Result:
             <= 0.0,
         }
 
-    def format(self) -> str:
-        """Render the reproduced table and the paper comparison."""
+    def to_report(self) -> ExperimentReport:
+        """The reproduced table plus paper comparison as a shared report."""
         rows = []
         for configuration in self.configurations:
             paper = PAPER_TABLE3[configuration.key]
             rows.append(
-                [
+                (
                     configuration.description,
                     f"{configuration.unsaturated.throughput_kbps:.0f}",
                     f"{configuration.unsaturated.latency_ms:.2f}",
                     f"{configuration.saturated.throughput_kbps:.0f}",
                     f"{configuration.saturated.latency_ms:.2f}",
                     f"{paper['unsaturated'][0]:.0f}/{paper['saturated'][0]:.0f}",
-                ]
+                )
             )
-        table = render_table(
-            [
+        table = ReportTable(
+            title="Table 3. Performance Results (virtual-time model)",
+            headers=(
                 "Configuration",
                 "Unsat KB/s",
                 "Unsat ms",
                 "Sat KB/s",
                 "Sat ms",
                 "Paper KB/s (unsat/sat)",
-            ],
-            rows,
-            title="Table 3. Performance Results (virtual-time model)",
+            ),
+            rows=tuple(rows),
         )
-        lines = [table, "", "Shape checks:"]
-        for claim, holds in self.shape_holds().items():
-            lines.append(f"  [{'ok' if holds else 'FAIL'}] {claim}")
-        lines.append("")
-        lines.append(
-            "Relative overheads (throughput vs configuration 1): "
-            f"config2 unsat {self.overhead_vs_baseline('2-transformed', saturated=False):+.1f}%, "
-            f"sat {self.overhead_vs_baseline('2-transformed', saturated=True):+.1f}%; "
-            f"config3 unsat {self.overhead_vs_baseline('3-2variant-address', saturated=False):+.1f}%, "
-            f"sat {self.overhead_vs_baseline('3-2variant-address', saturated=True):+.1f}%; "
-            f"config4 vs config3 unsat {self.uid_overhead_vs_2variant(saturated=False):+.1f}%, "
-            f"sat {self.uid_overhead_vs_2variant(saturated=True):+.1f}%"
+        overheads = ReportKeyValues(
+            title="Relative overheads (throughput vs configuration 1)",
+            pairs=(
+                (
+                    "config2 (unsat / sat)",
+                    f"{self.overhead_vs_baseline('2-transformed', saturated=False):+.1f}% / "
+                    f"{self.overhead_vs_baseline('2-transformed', saturated=True):+.1f}%",
+                ),
+                (
+                    "config3 (unsat / sat)",
+                    f"{self.overhead_vs_baseline('3-2variant-address', saturated=False):+.1f}% / "
+                    f"{self.overhead_vs_baseline('3-2variant-address', saturated=True):+.1f}%",
+                ),
+                (
+                    "config4 vs config3 (unsat / sat)",
+                    f"{self.uid_overhead_vs_2variant(saturated=False):+.1f}% / "
+                    f"{self.uid_overhead_vs_2variant(saturated=True):+.1f}%",
+                ),
+            ),
         )
-        return "\n".join(lines)
+        telemetry = {
+            f"{configuration.key}_requests": configuration.measurement.requests_completed
+            for configuration in self.configurations
+        }
+        return ExperimentReport(
+            title="Table 3: performance of the four configurations",
+            sections=(table, overheads),
+            claims=self.shape_holds(),
+            telemetry=telemetry,
+            result=self,
+        )
 
 
 def run(
@@ -200,3 +217,8 @@ def run(
             )
         )
     return Table3Result(configurations=configurations)
+
+
+def experiment(*, requests: int = 40) -> ExperimentReport:
+    """Registry entry point: run the table, return the shared report."""
+    return run(requests=requests).to_report()

@@ -33,6 +33,18 @@ from repro.api.campaign import (
     run_campaign,
     standard_attacks,
 )
+from repro.api.experiments import (
+    ExperimentParameter,
+    ExperimentParameterError,
+    ExperimentRegistry,
+    ExperimentRegistryError,
+    ExperimentReport,
+    RegisteredExperiment,
+    ReportKeyValues,
+    ReportTable,
+    UnknownExperimentError,
+    experiments,
+)
 from repro.api.registry import (
     RegisteredVariation,
     UnknownVariationError,
@@ -44,6 +56,7 @@ from repro.api.registry import (
 from repro.api.spec import (
     ADDRESS_PARTITIONING_SPEC,
     ADDRESS_UID_SPEC,
+    ExperimentSpec,
     FLEET_HALT_POLICIES,
     FleetSpec,
     SINGLE_PROCESS_SPEC,
@@ -60,14 +73,24 @@ __all__ = [
     "ADDRESS_PARTITIONING_SPEC",
     "ADDRESS_UID_SPEC",
     "CampaignReport",
+    "ExperimentParameter",
+    "ExperimentParameterError",
+    "ExperimentRegistry",
+    "ExperimentRegistryError",
+    "ExperimentReport",
+    "ExperimentSpec",
     "FLEET_HALT_POLICIES",
     "FleetSpec",
+    "RegisteredExperiment",
     "RegisteredVariation",
+    "ReportKeyValues",
+    "ReportTable",
     "SINGLE_PROCESS_SPEC",
     "STANDARD_SYSTEM_SPECS",
     "SystemSpec",
     "UID_DIVERSITY_SPEC",
     "UID_ORBIT_3_SPEC",
+    "UnknownExperimentError",
     "UnknownVariationError",
     "VariationParameterError",
     "VariationRegistry",
@@ -79,6 +102,7 @@ __all__ = [
     "build_session",
     "build_system",
     "build_variations",
+    "experiments",
     "prepare_attack",
     "registry",
     "run_attack",

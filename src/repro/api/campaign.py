@@ -13,8 +13,9 @@ back-to-back in submission order (the historical serial campaign), larger
 values interleave up to that many cells round-robin with batched lockstep
 rounds, and because every cell owns its own simulated host the per-cell
 outcomes are identical either way (the serial-parity property test pins
-this).  The legacy campaign entry points live on in
-:mod:`repro.attacks.runner` as deprecation shims over this function.
+this).  The legacy ``run_uid_campaign``/``run_address_campaign`` shims were
+removed after their one-release deprecation window; this function is the
+only campaign entry point.
 
 Attack drivers are imported lazily inside the dispatch functions: the attack
 modules themselves build their systems through :mod:`repro.api.builders`, so a
@@ -26,12 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
-from repro.api.spec import (
-    ADDRESS_PARTITIONING_SPEC,
-    SINGLE_PROCESS_SPEC,
-    STANDARD_SYSTEM_SPECS,
-    SystemSpec,
-)
+from repro.api.spec import STANDARD_SYSTEM_SPECS, SystemSpec
 from repro.engine.campaign import (
     CampaignExecutionResult,
     CampaignHaltPolicy,
@@ -174,8 +170,3 @@ def run_campaign(
         outcomes=[job.value for job in execution.jobs if job.value is not None],
         execution=execution,
     )
-
-
-def run_address_campaign_specs() -> tuple[SystemSpec, SystemSpec]:
-    """The two configurations the Figure 1 address campaign compares."""
-    return (SINGLE_PROCESS_SPEC, ADDRESS_PARTITIONING_SPEC)

@@ -1,22 +1,9 @@
-"""``python -m repro``: run JSON scenarios against the scenario API.
+"""``python -m repro``: run JSON scenarios and registered experiments.
 
 A scenario file is data, not code::
 
     {
-      "scenario": "detection-matrix",
-      "systems": [ ...SystemSpec dicts... ],     // default: the standard four
-      "attacks": ["full-word-root-overwrite"],   // default: every standard attack
-      "output": "text"                           // or "json"
-    }
-
-    {
-      "scenario": "throughput",
-      "fleet": { ...FleetSpec dict... },
-      "output": "text"
-    }
-
-    {
-      "scenario": "campaign",
+      "scenario": "campaign",                    // or "detection-matrix"
       "systems": [ ...SystemSpec dicts... ],     // default: the standard four
       "attacks": ["full-word-root-overwrite"],   // default: every standard attack
       "parallelism": 8,                          // engine worker count
@@ -24,10 +11,30 @@ A scenario file is data, not code::
       "halt": "per-cell"                         // or "halt-campaign"
     }
 
-``repro run scenario.json`` executes one such file (``--parallelism N``
-overrides the campaign worker count from the shell); ``repro variations``
-lists every registered variation a scenario may name.  Scenario problems
-(unknown keys, unknown variation or attack names, bad parameters) are
+    {
+      "scenario": "throughput",
+      "fleet": { ...FleetSpec dict... },
+      "output": "text"                           // or "json" or "markdown"
+    }
+
+    {
+      "scenario": "experiment",                  // any registered experiment
+      "experiment": "table3",
+      "params": {"requests": 20}
+    }
+
+The ``experiment`` kind is generic: every entry in the experiment registry --
+the paper's tables and figures, the detection matrix, the ablation suite, and
+anything registered later -- gets a JSON scenario without a new CLI branch.
+``detection-matrix`` and ``campaign`` share one data-driven campaign handler
+(the former is the latter without scheduler knobs).
+
+Commands: ``repro run scenario.json`` executes one scenario file
+(``--parallelism N`` overrides the campaign worker count from the shell);
+``repro experiment <name> [--set k=v] [--json] [--smoke]`` runs one
+registered experiment directly; ``repro experiments`` and ``repro
+variations`` list the registries a scenario may name.  Problems (unknown
+keys, unknown experiment/variation/attack names, bad parameters) are
 reported as errors with the known alternatives, not tracebacks.
 """
 
@@ -40,12 +47,16 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.api.campaign import CampaignReport, attacks_by_name, run_campaign
+from repro.api.experiments import ExperimentRegistryError, experiments
 from repro.api.registry import VariationRegistryError, registry
-from repro.api.spec import FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
+from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
 from repro.engine.campaign import CampaignHaltPolicy
 
-#: Output formats every scenario kind supports.
+#: Output formats the campaign/throughput scenario kinds support.
 OUTPUT_FORMATS = ("text", "json")
+
+#: Output formats the experiment scenario kind supports (report renderers).
+EXPERIMENT_OUTPUT_FORMATS = ("text", "json", "markdown")
 
 
 class ScenarioError(ValueError):
@@ -72,11 +83,15 @@ def load_scenario(path: Path) -> dict[str, Any]:
     return dict(data)
 
 
-def _resolve_output(data: Mapping[str, Any], override: Optional[str]) -> str:
+def _resolve_output(
+    data: Mapping[str, Any],
+    override: Optional[str],
+    allowed: Sequence[str] = OUTPUT_FORMATS,
+) -> str:
     output = override if override is not None else data.get("output", "text")
-    if output not in OUTPUT_FORMATS:
+    if output not in allowed:
         raise ScenarioError(
-            f"output must be one of {', '.join(OUTPUT_FORMATS)}, got {output!r}"
+            f"output must be one of {', '.join(allowed)}, got {output!r}"
         )
     return output
 
@@ -140,29 +155,6 @@ def _format_matrix_text(report: CampaignReport, specs: Sequence[SystemSpec]) -> 
     return "\n".join(lines)
 
 
-def _run_detection_matrix(data: Mapping[str, Any], output: str) -> tuple[int, str]:
-    specs = _resolve_systems(data)
-    attacks = _resolve_attacks(data)
-    report = run_campaign(
-        specs, attacks, parallelism=_resolve_positive_int(data, "parallelism", 1)
-    )
-    if output == "json":
-        payload = {
-            "scenario": "detection-matrix",
-            "systems": [spec.to_dict() for spec in specs],
-            "matrix": report.matrix(),
-            "detection_rates": {
-                spec.name: report.detection_rate(spec.name) for spec in specs
-            },
-            "undetected_compromises": [
-                {"attack": o.attack, "configuration": o.configuration}
-                for o in report.security_failures()
-            ],
-        }
-        return 0, json.dumps(payload, indent=2)
-    return 0, _format_matrix_text(report, specs)
-
-
 def _run_throughput(data: Mapping[str, Any], output: str) -> tuple[int, str]:
     from repro.apps.clients.webbench import drive_engine
 
@@ -199,9 +191,18 @@ def _run_throughput(data: Mapping[str, Any], output: str) -> tuple[int, str]:
     return 0, "\n".join(lines)
 
 
-def _run_parallel_campaign(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+def _run_campaign_scenario(
+    data: Mapping[str, Any], output: str, *, kind: str
+) -> tuple[int, str]:
+    """The shared attacks-x-systems campaign handler.
+
+    ``detection-matrix`` is the scheduler-knob-free subset of ``campaign``:
+    both expand the same cross product through :func:`run_campaign`; only the
+    campaign kind accepts (and reports) the engine scheduler's configuration.
+    """
     specs = _resolve_systems(data)
     attacks = _resolve_attacks(data)
+    with_execution = kind == "campaign"
     rounds_per_turn = _resolve_positive_int(data, "rounds_per_turn", 8)
     halt = data.get("halt", CampaignHaltPolicy.PER_CELL.value)
     try:
@@ -221,7 +222,7 @@ def _run_parallel_campaign(data: Mapping[str, Any], output: str) -> tuple[int, s
     execution = report.execution
     if output == "json":
         payload = {
-            "scenario": "campaign",
+            "scenario": kind,
             "systems": [spec.to_dict() for spec in specs],
             "matrix": report.matrix(),
             "detection_rates": {
@@ -231,7 +232,9 @@ def _run_parallel_campaign(data: Mapping[str, Any], output: str) -> tuple[int, s
                 {"attack": o.attack, "configuration": o.configuration}
                 for o in report.security_failures()
             ],
-            "execution": {
+        }
+        if with_execution:
+            payload["execution"] = {
                 "parallelism": execution.parallelism,
                 "rounds_per_turn": execution.rounds_per_turn,
                 "jobs": len(execution.jobs),
@@ -242,37 +245,75 @@ def _run_parallel_campaign(data: Mapping[str, Any], output: str) -> tuple[int, s
                 "virtual_elapsed_sequential": execution.virtual_elapsed_sequential,
                 "speedup": execution.speedup(),
                 "max_wait_turns": execution.max_wait_turns,
-            },
-        }
+            }
         return 0, json.dumps(payload, indent=2)
-    lines = [
-        _format_matrix_text(report, specs),
-        "",
-        f"execution: {len(execution.jobs)} cells on {execution.parallelism} workers "
-        f"({execution.rounds_per_turn} rounds/turn, {execution.scheduler_turns} turns)",
-        f"virtual elapsed: {execution.virtual_elapsed} ticks concurrent, "
-        f"{execution.virtual_elapsed_sequential} sequential "
-        f"({execution.speedup():.2f}x)",
-    ]
-    if execution.skipped_jobs or execution.truncated_jobs:
-        lines.append(
-            f"campaign halted: {len(execution.truncated_jobs)} cells truncated, "
-            f"{len(execution.skipped_jobs)} skipped (neither counts as an outcome)"
+    lines = [_format_matrix_text(report, specs)]
+    if with_execution:
+        lines.extend(
+            [
+                "",
+                f"execution: {len(execution.jobs)} cells on {execution.parallelism} workers "
+                f"({execution.rounds_per_turn} rounds/turn, {execution.scheduler_turns} turns)",
+                f"virtual elapsed: {execution.virtual_elapsed} ticks concurrent, "
+                f"{execution.virtual_elapsed_sequential} sequential "
+                f"({execution.speedup():.2f}x)",
+            ]
         )
+        if execution.skipped_jobs or execution.truncated_jobs:
+            lines.append(
+                f"campaign halted: {len(execution.truncated_jobs)} cells truncated, "
+                f"{len(execution.skipped_jobs)} skipped (neither counts as an outcome)"
+            )
     return 0, "\n".join(lines)
 
 
-#: Runner plus the top-level keys each scenario kind accepts ("scenario",
-#: "description" and "output" are always allowed).
+def _resolve_experiment_spec(data: Mapping[str, Any]) -> ExperimentSpec:
+    if "experiment" not in data:
+        raise ScenarioError(
+            "experiment scenarios need an 'experiment' key naming a registered "
+            f"experiment ({', '.join(experiments.names())})"
+        )
+    params = data.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ScenarioError(f"'params' must be a JSON object, got {params!r}")
+    try:
+        return ExperimentSpec.from_dict({"name": data["experiment"], "params": dict(params)})
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"bad experiment spec in scenario: {exc}") from exc
+
+
+def _render_experiment_report(report, output: str) -> tuple[int, str]:
+    """Render a finished experiment report; claims gate the exit code."""
+    exit_code = 0 if report.ok else 1
+    if output == "json":
+        return exit_code, report.to_json()
+    return exit_code, report.format(style=output)
+
+
+def _run_experiment_scenario(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+    spec = _resolve_experiment_spec(data)
+    report = experiments.run(spec)
+    return _render_experiment_report(report, output)
+
+
+#: Runner, the top-level keys the kind accepts ("scenario", "description" and
+#: "output" are always allowed), and its legal output formats.
 SCENARIO_RUNNERS = {
     "detection-matrix": (
-        _run_detection_matrix,
+        lambda data, output: _run_campaign_scenario(data, output, kind="detection-matrix"),
         frozenset({"systems", "attacks", "parallelism"}),
+        OUTPUT_FORMATS,
     ),
-    "throughput": (_run_throughput, frozenset({"fleet"})),
+    "throughput": (_run_throughput, frozenset({"fleet"}), OUTPUT_FORMATS),
     "campaign": (
-        _run_parallel_campaign,
+        lambda data, output: _run_campaign_scenario(data, output, kind="campaign"),
         frozenset({"systems", "attacks", "parallelism", "rounds_per_turn", "halt"}),
+        OUTPUT_FORMATS,
+    ),
+    "experiment": (
+        _run_experiment_scenario,
+        frozenset({"experiment", "params"}),
+        EXPERIMENT_OUTPUT_FORMATS,
     ),
 }
 
@@ -293,7 +334,7 @@ def run_scenario(
             f"unknown scenario kind {kind!r}; known kinds: "
             f"{', '.join(sorted(SCENARIO_RUNNERS))}"
         )
-    runner, kind_keys = entry
+    runner, kind_keys, output_formats = entry
     allowed = _COMMON_SCENARIO_KEYS | kind_keys
     unknown = sorted(set(data) - allowed)
     if unknown:
@@ -305,7 +346,7 @@ def run_scenario(
         if "parallelism" not in kind_keys:
             raise ScenarioError(f"{kind} scenarios do not accept --parallelism")
         data = {**data, "parallelism": parallelism}
-    resolved_output = _resolve_output(data, output)
+    resolved_output = _resolve_output(data, output, output_formats)
     return runner(data, resolved_output)
 
 
@@ -323,11 +364,72 @@ def _command_variations() -> int:
     return 0
 
 
+def _command_experiments(*, names_only: bool = False) -> int:
+    rows = experiments.describe()
+    if names_only:
+        for row in rows:
+            print(row["name"])
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    for row in rows:
+        parameters = f" (params: {row['parameters']})" if row["parameters"] else ""
+        print(f"  {row['name']:<{width}}  {row['description']}{parameters}")
+    return 0
+
+
+def _parse_set_params(assignments: Sequence[str]) -> dict[str, Any]:
+    """Parse ``--set key=value`` pairs; values are JSON scalars, else strings."""
+    params: dict[str, Any] = {}
+    for assignment in assignments:
+        key, separator, raw = assignment.partition("=")
+        if not separator or not key:
+            raise ScenarioError(
+                f"--set expects key=value, got {assignment!r}"
+            )
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        params[key] = value
+    return params
+
+
+def _command_experiment(arguments) -> int:
+    params = _parse_set_params(arguments.set or [])
+    try:
+        if arguments.smoke:
+            spec = experiments.smoke_spec(arguments.name)
+            if params:
+                spec = ExperimentSpec(
+                    name=spec.name, params={**spec.params_dict(), **params}
+                )
+        else:
+            spec = ExperimentSpec(name=arguments.name, params=params)
+    except (TypeError, ValueError) as exc:
+        # e.g. --set with a non-scalar JSON value; keep the no-tracebacks promise.
+        raise ScenarioError(f"bad experiment parameters: {exc}") from exc
+    report = experiments.run(spec)
+    output = "json" if arguments.json else arguments.output
+    exit_code, rendered = _render_experiment_report(report, output)
+    print(rendered)
+    if exit_code != 0:
+        print(
+            f"error: experiment {spec.name!r} failed "
+            f"{len(report.failed_claims)} claim(s): "
+            + "; ".join(report.failed_claims),
+            file=sys.stderr,
+        )
+    return exit_code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """The ``python -m repro`` entry point."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Run declarative N-variant scenarios (see examples/scenarios/).",
+        description=(
+            "Run declarative N-variant scenarios and registered experiments "
+            "(see examples/scenarios/)."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -335,9 +437,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.add_argument("scenario", type=Path, help="path to the scenario JSON file")
     run_parser.add_argument(
         "--output",
-        choices=OUTPUT_FORMATS,
+        choices=EXPERIMENT_OUTPUT_FORMATS,
         default=None,
-        help="override the scenario file's output format",
+        help="override the scenario file's output format "
+        "(markdown: experiment scenarios only)",
     )
     run_parser.add_argument(
         "--parallelism",
@@ -347,18 +450,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="override the campaign worker count (campaign/detection-matrix scenarios)",
     )
 
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="run one registered experiment"
+    )
+    experiment_parser.add_argument("name", help="experiment name (see 'experiments')")
+    experiment_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="set an experiment parameter (repeatable; values parsed as JSON scalars)",
+    )
+    experiment_parser.add_argument(
+        "--output",
+        choices=EXPERIMENT_OUTPUT_FORMATS,
+        default="text",
+        help="report rendering (default: text)",
+    )
+    experiment_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --output json",
+    )
+    experiment_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at the experiment's smallest meaningful parameters",
+    )
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="list registered experiments"
+    )
+    experiments_parser.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare names only (one per line, for scripting)",
+    )
+
     subparsers.add_parser("variations", help="list registered variations")
 
     arguments = parser.parse_args(argv)
     if arguments.command == "variations":
         return _command_variations()
+    if arguments.command == "experiments":
+        return _command_experiments(names_only=arguments.names)
 
     try:
+        if arguments.command == "experiment":
+            return _command_experiment(arguments)
         data = load_scenario(arguments.scenario)
         exit_code, rendered = run_scenario(
             data, output=arguments.output, parallelism=arguments.parallelism
         )
-    except (ScenarioError, VariationRegistryError) as exc:
+    except (ScenarioError, VariationRegistryError, ExperimentRegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(rendered)

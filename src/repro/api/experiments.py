@@ -1,0 +1,499 @@
+"""First-class experiments: the registry, the shared typed report, renderers.
+
+PR 2 made *systems* declarative (``SystemSpec`` + the variation registry);
+this module does the same for *experiments*.  Every paper table/figure driver
+under :mod:`repro.analysis.experiments` registers here under a stable name
+with a typed parameter list, and every one of them returns the same
+:class:`ExperimentReport` -- structured sections (tables and key/value
+blocks), named claim results, and timing/engine telemetry -- instead of a
+bespoke ``format()`` string.  That one shape is what makes experiments data:
+
+* ``python -m repro experiment table3 --set requests=20`` runs any registered
+  experiment from the shell;
+* a ``{"scenario": "experiment", "experiment": "ablations"}`` JSON file runs
+  it as a scenario, so new experiments need no new CLI branch;
+* the benchmark harness iterates the registry generically and persists each
+  report as ``BENCH_<name>.json``.
+
+Experiment modules are imported lazily (each registry entry carries a
+``"module:function"`` loader), so listing experiments stays cheap and the
+registry can live in :mod:`repro.api` without dragging the whole analysis
+layer into every import of the scenario API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+import time
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.api.spec import ExperimentSpec
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+class ExperimentRegistryError(ValueError):
+    """Base class for experiment resolution failures."""
+
+
+class UnknownExperimentError(ExperimentRegistryError):
+    """A spec named an experiment the registry does not know."""
+
+    def __init__(self, name: str, known: list[str]):
+        super().__init__(
+            f"unknown experiment {name!r}; registered experiments: "
+            f"{', '.join(known) or '(none)'}"
+        )
+        self.name = name
+        self.known = known
+
+
+class ExperimentParameterError(ExperimentRegistryError):
+    """A spec's parameters do not match the experiment's declared parameters."""
+
+    def __init__(self, name: str, reason: str):
+        super().__init__(f"bad parameters for experiment {name!r}: {reason}")
+        self.name = name
+
+
+# ---------------------------------------------------------------------------
+# Report sections
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportTable:
+    """One table of an experiment report: headers plus homogeneous rows."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "headers", tuple(str(h) for h in self.headers))
+        object.__setattr__(
+            self,
+            "rows",
+            tuple(tuple(str(cell) for cell in row) for row in self.rows),
+        )
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError(
+                    f"table {self.title!r}: row {row!r} does not have "
+                    f"{len(self.headers)} columns"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the ``kind`` key discriminates sections)."""
+        return {
+            "kind": "table",
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
+
+    def render(self, style: str = "text") -> str:
+        """Render this table in the requested style."""
+        from repro.analysis.tables import render_table, render_table_markdown
+
+        if style == "markdown":
+            return render_table_markdown(self.headers, self.rows, title=self.title)
+        return render_table(self.headers, self.rows, title=self.title)
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportKeyValues:
+    """One key/value block of an experiment report."""
+
+    title: str
+    pairs: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "pairs",
+            tuple((str(key), str(value)) for key, value in self.pairs),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (the ``kind`` key discriminates sections)."""
+        return {
+            "kind": "key-values",
+            "title": self.title,
+            "pairs": [list(pair) for pair in self.pairs],
+        }
+
+    def render(self, style: str = "text") -> str:
+        """Render this block in the requested style."""
+        from repro.analysis.tables import render_key_values, render_key_values_markdown
+
+        if style == "markdown":
+            return render_key_values_markdown(self.pairs, title=self.title)
+        return render_key_values(self.pairs, title=self.title)
+
+
+ReportSection = Union[ReportTable, ReportKeyValues]
+
+#: Rendering styles :meth:`ExperimentReport.format` accepts.
+REPORT_STYLES = ("text", "markdown")
+
+
+# ---------------------------------------------------------------------------
+# The shared report
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """The one result type every registered experiment returns.
+
+    ``sections`` carry the renderable data (the paper's tables and traces),
+    ``claims`` the named boolean results the reproduction asserts, and
+    ``telemetry`` whatever timing/engine accounting the run produced (the
+    registry adds wall-clock seconds).  ``result`` is the experiment module's
+    underlying structured object for callers that need the full detail (the
+    benchmark assertions, the parity tests); it is deliberately excluded from
+    the JSON form, which must stay schema-stable.
+    """
+
+    title: str
+    sections: tuple[ReportSection, ...] = ()
+    claims: dict[str, bool] = dataclasses.field(default_factory=dict)
+    telemetry: dict[str, Any] = dataclasses.field(default_factory=dict)
+    result: Any = None
+    spec: Optional[ExperimentSpec] = None
+
+    def __post_init__(self) -> None:
+        self.sections = tuple(self.sections)
+
+    @property
+    def ok(self) -> bool:
+        """True when every claim holds (an empty claim set counts as ok)."""
+        return all(self.claims.values())
+
+    @property
+    def failed_claims(self) -> list[str]:
+        """The names of the claims that did not hold."""
+        return [claim for claim, holds in self.claims.items() if not holds]
+
+    def tables(self) -> list[ReportTable]:
+        """Just the table sections, in order."""
+        return [s for s in self.sections if isinstance(s, ReportTable)]
+
+    def rows(self) -> list[tuple[str, ...]]:
+        """Every table row in the report, in section order (for parity tests)."""
+        return [row for table in self.tables() for row in table.rows]
+
+    # -- renderers -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The schema-stable JSON representation of this report."""
+        return {
+            "experiment": self.spec.name if self.spec is not None else None,
+            "params": self.spec.params_dict() if self.spec is not None else {},
+            "title": self.title,
+            "ok": self.ok,
+            "claims": dict(self.claims),
+            "sections": [section.to_dict() for section in self.sections],
+            "telemetry": dict(self.telemetry),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format(self, style: str = "text") -> str:
+        """Render the full report (sections, then claims, then telemetry)."""
+        if style not in REPORT_STYLES:
+            raise ValueError(
+                f"style must be one of {', '.join(REPORT_STYLES)}, got {style!r}"
+            )
+        blocks = [section.render(style) for section in self.sections]
+        if self.claims:
+            if style == "markdown":
+                lines = ["### Claims", ""]
+                lines.extend(
+                    f"- [{'x' if holds else ' '}] {claim}"
+                    for claim, holds in self.claims.items()
+                )
+            else:
+                lines = ["Claims:"]
+                lines.extend(
+                    f"  [{'ok' if holds else 'FAIL'}] {claim}"
+                    for claim, holds in self.claims.items()
+                )
+            blocks.append("\n".join(lines))
+        if self.telemetry:
+            pairs = tuple((key, value) for key, value in self.telemetry.items())
+            blocks.append(ReportKeyValues(title="Telemetry", pairs=pairs).render(style))
+        return "\n\n".join(blocks)
+
+
+# ---------------------------------------------------------------------------
+# The registry
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentParameter:
+    """One declared parameter of an experiment: name, scalar type, default."""
+
+    name: str
+    kind: type
+    default: Any
+    description: str = ""
+
+    def accepts(self, value: Any) -> bool:
+        """True when *value* is usable for this parameter.
+
+        ``bool`` is not accepted where ``int`` is declared (and vice versa)
+        even though Python subclasses them, since in a JSON scenario file
+        ``true`` where a count belongs is always a mistake.
+        """
+        if self.kind is int:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.kind is float:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        return isinstance(value, self.kind)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisteredExperiment:
+    """One registry entry: name, lazy runner, parameters, documentation.
+
+    ``runner`` is either a ``"module:function"`` loader string (preferred for
+    the built-in experiments: listing the registry then costs no analysis
+    imports) or a callable; either way it takes the declared parameters as
+    keyword arguments and returns an :class:`ExperimentReport`.
+    ``smoke_params`` are the smallest parameters the experiment runs
+    meaningfully with -- what ``--smoke`` and the ``experiments-smoke`` CI
+    target use.
+    """
+
+    name: str
+    runner: Union[str, Callable[..., ExperimentReport]]
+    description: str = ""
+    parameters: tuple[ExperimentParameter, ...] = ()
+    smoke_params: tuple[tuple[str, Any], ...] = ()
+
+    def parameter_names(self) -> list[str]:
+        """The declared parameter names, in declaration order."""
+        return [parameter.name for parameter in self.parameters]
+
+    def resolve(self) -> Callable[..., ExperimentReport]:
+        """Import (if needed) and return the runner callable."""
+        if callable(self.runner):
+            return self.runner
+        module_name, _, attribute = self.runner.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attribute)
+
+
+class ExperimentRegistry:
+    """Resolves experiment names to validated, timed report-producing runs."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredExperiment] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        runner: Union[str, Callable[..., ExperimentReport]],
+        *,
+        description: str = "",
+        parameters: Sequence[ExperimentParameter] = (),
+        smoke_params: Optional[Mapping[str, Any]] = None,
+    ) -> RegisteredExperiment:
+        """Register *runner* under *name* (re-registering replaces the entry)."""
+        entry = RegisteredExperiment(
+            name=name,
+            runner=runner,
+            description=description,
+            parameters=tuple(parameters),
+            smoke_params=tuple(sorted((smoke_params or {}).items())),
+        )
+        self._entries[name] = entry
+        return entry
+
+    # -- resolution ------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """The registered experiment names, sorted."""
+        return sorted(self._entries)
+
+    def get(self, name: str) -> RegisteredExperiment:
+        """Resolve *name* to its entry."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownExperimentError(name, self.names()) from None
+
+    def validate(self, spec: ExperimentSpec) -> dict[str, Any]:
+        """Check *spec* against the experiment's declared parameters.
+
+        Returns the keyword arguments for the runner.  Unknown parameter
+        names and type mismatches are :class:`ExperimentParameterError`\\ s --
+        the experiment-level analogue of ``SystemSpec.from_dict`` rejecting
+        unknown keys.
+        """
+        entry = self.get(spec.name)
+        declared = {parameter.name: parameter for parameter in entry.parameters}
+        params = spec.params_dict()
+        unknown = sorted(set(params) - set(declared))
+        if unknown:
+            raise ExperimentParameterError(
+                spec.name,
+                f"unknown parameters: {', '.join(unknown)}; accepted: "
+                f"{', '.join(entry.parameter_names()) or '(none)'}",
+            )
+        for key, value in params.items():
+            parameter = declared[key]
+            if not parameter.accepts(value):
+                raise ExperimentParameterError(
+                    spec.name,
+                    f"{key} must be {parameter.kind.__name__}, "
+                    f"got {type(value).__name__} {value!r}",
+                )
+        return params
+
+    def smoke_spec(self, name: str) -> ExperimentSpec:
+        """The smallest meaningful spec for *name* (the CI smoke configuration)."""
+        entry = self.get(name)
+        return ExperimentSpec(name=name, params=entry.smoke_params)
+
+    def run(
+        self,
+        spec: Union[ExperimentSpec, str],
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> ExperimentReport:
+        """Run one experiment and return its report.
+
+        *spec* may be a full :class:`ExperimentSpec` or a bare name (with
+        optional *params*).  The registry validates the parameters, times the
+        run, and stamps the report with the spec and wall-clock telemetry --
+        every execution path (CLI, scenarios, benchmarks, library callers)
+        goes through here.
+        """
+        if isinstance(spec, str):
+            spec = ExperimentSpec(name=spec, params=tuple(sorted((params or {}).items())))
+        elif params is not None:
+            raise TypeError("pass parameters inside the ExperimentSpec, not separately")
+        kwargs = self.validate(spec)
+        runner = self.get(spec.name).resolve()
+        started = time.perf_counter()
+        report = runner(**kwargs)
+        elapsed = time.perf_counter() - started
+        if not isinstance(report, ExperimentReport):
+            raise ExperimentRegistryError(
+                f"experiment {spec.name!r} returned {type(report).__name__}, "
+                f"not an ExperimentReport"
+            )
+        report.spec = spec
+        report.telemetry.setdefault("wall_seconds", round(elapsed, 6))
+        return report
+
+    def describe(self) -> list[dict[str, str]]:
+        """Rows for the CLI's ``experiments`` listing."""
+        return [
+            {
+                "name": entry.name,
+                "parameters": ", ".join(
+                    f"{p.name}:{p.kind.__name__}={p.default!r}" for p in entry.parameters
+                ),
+                "smoke": ", ".join(f"{k}={v!r}" for k, v in entry.smoke_params),
+                "description": entry.description,
+            }
+            for _, entry in sorted(self._entries.items())
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[RegisteredExperiment]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# The default registry: every paper table/figure plus the ablation suite
+# ---------------------------------------------------------------------------
+
+_EXPERIMENTS = "repro.analysis.experiments"
+
+#: The default registry.  Each entry's runner returns an
+#: :class:`ExperimentReport`; parameters mirror the module ``run()`` defaults.
+experiments = ExperimentRegistry()
+
+experiments.register(
+    "table1",
+    f"{_EXPERIMENTS}.table1:experiment",
+    description="Table 1: reexpression functions and their inverse/disjointedness properties",
+    parameters=(
+        ExperimentParameter(
+            "sample_count", int, 2048, "domain samples per property check"
+        ),
+    ),
+    smoke_params={"sample_count": 256},
+)
+experiments.register(
+    "table2",
+    f"{_EXPERIMENTS}.table2:experiment",
+    description="Table 2: detection system calls exercised live (benign and attack halves)",
+)
+experiments.register(
+    "table3",
+    f"{_EXPERIMENTS}.table3:experiment",
+    description="Table 3: throughput/latency of the four configurations (virtual-time model)",
+    parameters=(
+        ExperimentParameter("requests", int, 40, "benign requests per configuration"),
+    ),
+    smoke_params={"requests": 10},
+)
+experiments.register(
+    "figure1",
+    f"{_EXPERIMENTS}.figure1:experiment",
+    description="Figure 1: two-variant address partitioning (benign equivalence + injection)",
+    parameters=(
+        ExperimentParameter("benign_requests", int, 8, "benign requests driven"),
+    ),
+    smoke_params={"benign_requests": 4},
+)
+experiments.register(
+    "figure2",
+    f"{_EXPERIMENTS}.figure2:experiment",
+    description="Figure 2: the data-diversity pipeline, model-level and end-to-end",
+)
+experiments.register(
+    "section4",
+    f"{_EXPERIMENTS}.section4:experiment",
+    description="Section 4: automatic source-transformation effort accounting",
+)
+experiments.register(
+    "detection",
+    f"{_EXPERIMENTS}.detection:experiment",
+    description="The full detection matrix and the paper's security claims",
+    parameters=(
+        ExperimentParameter("parallelism", int, 1, "campaign scheduler worker count"),
+    ),
+    smoke_params={"parallelism": 8},
+)
+experiments.register(
+    "ablations",
+    f"{_EXPERIMENTS}.ablations:experiment",
+    description="Design-choice ablations: detection calls, reexpression mask, unshared files",
+    parameters=(
+        ExperimentParameter(
+            "user_space_uses", int, 5, "UID uses between corruption and kernel call"
+        ),
+        ExperimentParameter("requests", int, 4, "benign requests in the mask ablation"),
+    ),
+    smoke_params={"user_space_uses": 3, "requests": 2},
+)

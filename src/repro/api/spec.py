@@ -10,6 +10,8 @@ for one point of that product:
 * :class:`WorkloadSpec` -- the WebBench-style workload shape.
 * :class:`FleetSpec` -- M concurrent sessions of one system under a workload,
   with the engine-level halt policy.
+* :class:`ExperimentSpec` -- one named experiment from the experiment
+  registry plus its typed parameters (see :mod:`repro.api.experiments`).
 
 Every spec is frozen (hashable, safe as a dict key or default argument) and
 round-trips through ``to_dict``/``from_dict`` and ``to_json``/``from_json``,
@@ -28,7 +30,7 @@ from typing import Any, Mapping, Union
 _SCALAR_TYPES = (str, int, float, bool, type(None))
 
 
-def _canonical_params(params: Any) -> tuple[tuple[str, Any], ...]:
+def _canonical_params(params: Any, *, what: str = "variation") -> tuple[tuple[str, Any], ...]:
     """Normalise a parameter mapping into a sorted, hashable tuple of pairs."""
     if params is None:
         return ()
@@ -36,10 +38,10 @@ def _canonical_params(params: Any) -> tuple[tuple[str, Any], ...]:
     canonical = []
     for key, value in sorted(items):
         if not isinstance(key, str):
-            raise TypeError(f"variation parameter names must be strings, got {key!r}")
+            raise TypeError(f"{what} parameter names must be strings, got {key!r}")
         if not isinstance(value, _SCALAR_TYPES):
             raise TypeError(
-                f"variation parameter {key!r} must be a JSON scalar, got {type(value).__name__}"
+                f"{what} parameter {key!r} must be a JSON scalar, got {type(value).__name__}"
             )
         canonical.append((key, value))
     return tuple(canonical)
@@ -95,6 +97,63 @@ class VariationSpec:
         if self.params:
             data["params"] = self.params_dict()
         return data
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment, by name, with its run parameters.
+
+    The mirror of :class:`VariationSpec` one layer up: where a variation spec
+    names an entry in the variation registry, an experiment spec names an
+    entry in :data:`repro.api.experiments.experiments`.  Parameters are JSON
+    scalars only and are canonicalized to a sorted tuple of pairs, so specs
+    are frozen, hashable and order-insensitive.  Which parameter names (and
+    types) are legal for a given experiment is enforced by the registry at
+    run time, not here -- the spec is pure data.
+    """
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", _canonical_params(self.params, what="experiment"))
+
+    @classmethod
+    def of(cls, name: str, **params: Any) -> "ExperimentSpec":
+        """Keyword construction sugar: ``ExperimentSpec.of("table3", requests=20)``."""
+        return cls(name=name, params=params)  # type: ignore[arg-type]
+
+    def params_dict(self) -> dict[str, Any]:
+        """The parameters as a plain dict (what the experiment runner receives)."""
+        return dict(self.params)
+
+    # -- serialisation ---------------------------------------------------------
+
+    _KEYS = frozenset({"name", "params"})
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (bare params omitted when empty)."""
+        data: dict[str, Any] = {"name": self.name}
+        if self.params:
+            data["params"] = self.params_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        _require_known_keys(data, cls._KEYS, "experiment spec")
+        if "name" not in data:
+            raise ValueError(f"experiment spec needs a 'name': {dict(data)!r}")
+        return cls(name=data["name"], params=data.get("params") or ())
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from JSON text."""
+        return cls.from_dict(json.loads(text))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,5 +1,13 @@
-"""Attack library: payload builders, attack drivers and the campaign runner."""
+"""Attack library: payload builders and spec-based attack drivers.
 
+Campaigns (attacks x system specs) run through
+:func:`repro.api.campaign.run_campaign`; the legacy ``CampaignConfiguration``
+/ ``run_uid_campaign`` / ``run_address_campaign`` shims were removed after
+their one-release deprecation window.  :class:`~repro.api.campaign.CampaignReport`
+stays importable from here for report-consuming callers.
+"""
+
+from repro.api.campaign import CampaignReport
 from repro.attacks.code_injection import (
     CodeInjectionAttack,
     run_code_injection_tagged,
@@ -22,13 +30,6 @@ from repro.attacks.payloads import (
     uid_and_gid_overwrite_payload,
     uid_overwrite_payload,
 )
-from repro.attacks.runner import (
-    CampaignConfiguration,
-    CampaignReport,
-    STANDARD_CONFIGURATIONS,
-    run_address_campaign,
-    run_uid_campaign,
-)
 from repro.attacks.uid_attacks import (
     SHADOW_MARKER,
     UIDAttack,
@@ -43,7 +44,6 @@ from repro.attacks.uid_attacks import (
 __all__ = [
     "AddressInjectionAttack",
     "AttackOutcome",
-    "CampaignConfiguration",
     "CampaignReport",
     "CodeInjectionAttack",
     "DEFAULT_TARGET_FILE",
@@ -51,14 +51,12 @@ __all__ = [
     "OutcomeKind",
     "OverflowSpec",
     "SHADOW_MARKER",
-    "STANDARD_CONFIGURATIONS",
     "UIDAttack",
     "banner_pointer_payload",
     "benign_request",
     "classify",
     "run_address_attack_nvariant",
     "run_address_attack_single",
-    "run_address_campaign",
     "run_code_injection_tagged",
     "run_code_injection_untagged",
     "run_corruption_attack_nvariant",
@@ -66,7 +64,6 @@ __all__ = [
     "run_remote_attack_nvariant",
     "run_remote_attack_single",
     "run_uid_attack",
-    "run_uid_campaign",
     "standard_address_attacks",
     "standard_uid_attacks",
     "traversal_path",

@@ -22,7 +22,6 @@ from repro.api.spec import (
     SINGLE_PROCESS_SPEC,
     UID_DIVERSITY_SPEC,
 )
-from repro.attacks.runner import CampaignConfiguration, run_uid_campaign
 from repro.attacks.uid_attacks import (
     UIDAttack,
     run_remote_attack_nvariant,
@@ -32,8 +31,6 @@ from repro.attacks.uid_attacks import (
 )
 from repro.apps.httpd.http import parse_request
 from repro.apps.httpd.vulnerable import ANNOTATION_BUFFER_SIZE, VULNERABLE_HEADER
-from repro.core.variations.address import AddressPartitioning
-from repro.core.variations.uid import UIDVariation
 from repro.memory.corruption import CorruptionSpec
 
 
@@ -166,28 +163,13 @@ class TestCampaignRunner:
         assert report.matrix()["full-word-root-overwrite"]["2-variant-uid"] == "detected"
         assert "undetected compromises" in report.describe()
 
-    def test_legacy_campaign_shim_warns_and_matches_spec_path(self):
-        """The deprecated configuration API still works, warns, and produces
-        the same outcomes as the spec-based campaign it now delegates to."""
-        with pytest.warns(DeprecationWarning):
-            configurations = (
-                CampaignConfiguration(name="single-process", redundant=False, transformed=False),
-                CampaignConfiguration(
-                    name="2-variant-uid",
-                    redundant=True,
-                    variations=(UIDVariation,),
-                    transformed=True,
-                ),
-            )
-        assert configurations[1].to_spec() == UID_DIVERSITY_SPEC
-        assert configurations[0].to_spec() == SINGLE_PROCESS_SPEC
-        attacks = [a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"]
-        with pytest.warns(DeprecationWarning):
-            legacy = run_uid_campaign(attacks, configurations)
-        modern = run_campaign([c.to_spec() for c in configurations], attacks)
-        assert legacy.matrix() == modern.matrix()
+    def test_legacy_campaign_shims_are_gone(self):
+        """The one-release deprecation window closed: the shims must not
+        resurface (scenarios are the only way to describe configurations)."""
+        import repro.attacks as attacks_package
 
-    def test_legacy_configuration_rejects_non_variation_classes(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                CampaignConfiguration(name="bad", redundant=True, variations=(int,))
+        assert not hasattr(attacks_package, "CampaignConfiguration")
+        assert not hasattr(attacks_package, "run_uid_campaign")
+        assert not hasattr(attacks_package, "run_address_campaign")
+        with pytest.raises(ModuleNotFoundError):
+            import repro.attacks.runner  # noqa: F401

@@ -10,7 +10,6 @@ fixed matrix; the hypothesis property test (marked ``slow``, run by
 
 import dataclasses
 import json
-import warnings
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -227,49 +226,6 @@ class TestCampaignScheduler:
         assert len(report.outcomes) == 1
         assert report.outcomes[0].kind is OutcomeKind.DETECTED
         assert len(report.execution.skipped_jobs) == 1
-
-
-class TestDeprecationShims:
-    """The legacy campaign entry points warn exactly once and delegate."""
-
-    def _single_attack(self):
-        return [next(a for a in standard_uid_attacks() if a.name == "low-bit-flip")]
-
-    def test_run_uid_campaign_warns_once_and_matches_run_campaign(self):
-        from repro.attacks.runner import STANDARD_CONFIGURATIONS, run_uid_campaign
-
-        attacks = self._single_attack()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = run_uid_campaign(attacks)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "run_uid_campaign" in str(deprecations[0].message)
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            specs = [configuration.to_spec() for configuration in STANDARD_CONFIGURATIONS]
-        modern = run_campaign(specs, attacks)
-        assert legacy.outcomes == modern.outcomes
-
-    def test_run_address_campaign_warns_once_and_matches_run_campaign(self):
-        from repro.api.campaign import run_address_campaign_specs
-        from repro.attacks.runner import run_address_campaign
-
-        attacks = [standard_address_attacks()[0]]
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            legacy = run_address_campaign(attacks)
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "run_address_campaign" in str(deprecations[0].message)
-
-        modern = run_campaign(run_address_campaign_specs(), attacks)
-        assert legacy.outcomes == modern.outcomes
 
 
 class TestOrbitVariation:
