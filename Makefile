@@ -11,15 +11,18 @@
 #   make bench            -- every benchmark, with timing; each writes
 #                            benchmarks/results/BENCH_<name>.json
 #   make bench-smoke      -- every benchmark once, no timing (fast CI exercise)
+#   make bench-diff       -- per-metric deltas of benchmarks/results/ against
+#                            the committed benchmarks/baseline/ snapshot
 #   make examples         -- run each example script end to end
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-BENCHES := $(wildcard benchmarks/bench_*.py)
+# bench_diff.py is the trajectory-diff tool, not a pytest benchmark.
+BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.py))
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test check check-parallel experiments-smoke bench bench-smoke examples
+.PHONY: test check check-parallel experiments-smoke bench bench-smoke bench-diff examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,6 +33,7 @@ check: test experiments-smoke
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/table3.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/ablations.json > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/address_orbit.json > /dev/null
 	@echo "check ok: tier-1 tests + experiments smoke + CLI scenario smoke"
 
 # Every registered experiment at its smallest meaningful parameters, through
@@ -59,6 +63,11 @@ bench:
 # rounds.
 bench-smoke:
 	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-disable
+
+# Cross-PR benchmark trajectory: compare the current results/ files against
+# the committed baseline/ snapshot and print per-metric deltas.
+bench-diff:
+	$(PYTHON) benchmarks/bench_diff.py
 
 examples:
 	@set -e; for example in $(EXAMPLES); do \

@@ -99,6 +99,17 @@ def _check_detection(result) -> None:
     assert result.all_claims_hold
 
 
+def _check_nscaling(result) -> None:
+    counts = [point.num_variants for point in result.points]
+    assert counts == sorted(counts) and counts[0] == 2 and counts[-1] >= 3
+    # Detection survives every swept N on both orbit families, and the
+    # lockstep cost curve is strictly monotone in N.
+    assert all(point.uid_guarantee_holds for point in result.points)
+    assert all(point.address_guarantee_holds for point in result.points)
+    syscalls = [point.lockstep_syscalls for point in result.points]
+    assert all(a < b for a, b in zip(syscalls, syscalls[1:]))
+
+
 def _check_ablations(result) -> None:
     latency = result.detection_latency
     assert latency.with_detection_calls is not None
@@ -124,6 +135,7 @@ EXTRA_CHECKS = {
     "figure2": _check_figure2,
     "section4": _check_section4,
     "detection": _check_detection,
+    "nscaling": _check_nscaling,
     "ablations": _check_ablations,
 }
 

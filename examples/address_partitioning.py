@@ -12,7 +12,7 @@ corrupted UID is an ordinary data value, valid in both address spaces), which
 is the gap the paper's data diversity fills.
 """
 
-from repro import ADDRESS_PARTITIONING_SPEC
+from repro import ADDRESS_ORBIT_3_SPEC, ADDRESS_PARTITIONING_SPEC
 from repro.attacks.memory_attacks import (
     run_address_attack_nvariant,
     run_address_attack_single,
@@ -21,15 +21,18 @@ from repro.attacks.memory_attacks import (
 from repro.attacks.uid_attacks import run_remote_attack_nvariant, standard_uid_attacks
 from repro.memory.address_space import AddressSpace
 from repro.memory.memory_model import MemoryRegion
+from repro.memory.partition import HighBitScheme, OrbitScheme
 
 
 def show_partitions() -> None:
     """Print how the same nominal region lands in each variant's partition."""
-    print("Address layout of the same nominal region in each variant:")
-    for index in range(2):
-        space = AddressSpace(partition=index)
-        region = space.map_region(MemoryRegion("server-state", 0x00400000, 256))
-        print(f"  variant {index}: server-state mapped at 0x{region.base:08X}")
+    print("Address layout of the same nominal region under each scheme:")
+    for scheme in (HighBitScheme(), OrbitScheme(3)):
+        print(f"  {scheme.describe()}:")
+        for index in range(scheme.num_partitions):
+            space = AddressSpace(scheme=scheme, index=index)
+            region = space.map_region(MemoryRegion("server-state", 0x00400000, 256))
+            print(f"    variant {index}: server-state mapped at 0x{region.base:08X}")
     print()
 
 
@@ -40,9 +43,11 @@ def main() -> None:
     for attack in standard_address_attacks():
         single = run_address_attack_single(attack)
         redundant = run_address_attack_nvariant(attack)
+        orbit = run_address_attack_nvariant(attack, ADDRESS_ORBIT_3_SPEC)
         print(f"  {attack.name}")
         print(f"    single process        : {single.kind.value}")
         print(f"    2-variant partitioned : {redundant.kind.value} -- {redundant.detail}")
+        print(f"    3-variant orbit       : {orbit.kind.value} -- {orbit.detail}")
     print()
 
     print("The UID-corruption attack against address partitioning alone:")

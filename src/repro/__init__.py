@@ -33,8 +33,10 @@ The documented import path for the scenario API is this top-level package::
 
 from repro._version import __version__
 from repro.api import (
+    ADDRESS_ORBIT_3_SPEC,
     ADDRESS_PARTITIONING_SPEC,
     ADDRESS_UID_SPEC,
+    COMBINED_ORBIT_3_SPEC,
     CampaignReport,
     ExperimentReport,
     ExperimentSpec,
@@ -58,12 +60,16 @@ from repro.api import (
     registry,
     run_attack,
     run_campaign,
+    address_orbit_spec,
+    combined_orbit_spec,
     uid_orbit_spec,
 )
 
 __all__ = [
+    "ADDRESS_ORBIT_3_SPEC",
     "ADDRESS_PARTITIONING_SPEC",
     "ADDRESS_UID_SPEC",
+    "COMBINED_ORBIT_3_SPEC",
     "CampaignReport",
     "ExperimentReport",
     "ExperimentSpec",
@@ -79,6 +85,8 @@ __all__ = [
     "VariationSpec",
     "WorkloadSpec",
     "__version__",
+    "address_orbit_spec",
+    "combined_orbit_spec",
     "build_engine",
     "build_session",
     "build_system",

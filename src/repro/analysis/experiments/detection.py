@@ -10,10 +10,11 @@ attack in the library is run against every configuration and the outcome
 matrix is reported, together with the claims the matrix must satisfy.
 
 The campaigns run through the engine's worker-pool scheduler
-(``run(parallelism=8)`` interleaves the whole matrix), and the UID sweep
-includes the 3-variant orbit configuration -- the guarantee is about data
-diversity, not about N=2, and the matrix shows it surviving the
-generalisation.
+(``run(parallelism=8)`` interleaves the whole matrix), and both sweeps
+include N>=3 orbit configurations -- the 3-variant UID orbit, the 3-variant
+address orbit, and the combined address+UID orbit -- because the guarantee
+is about data diversity, not about N=2, and the matrix shows it surviving
+the generalisation on both re-expression families at once.
 """
 
 from __future__ import annotations
@@ -23,7 +24,9 @@ import dataclasses
 from repro.api.campaign import CampaignReport, run_campaign
 from repro.api.experiments import ExperimentReport, ReportTable
 from repro.api.spec import (
+    ADDRESS_ORBIT_3_SPEC,
     ADDRESS_PARTITIONING_SPEC,
+    COMBINED_ORBIT_3_SPEC,
     SINGLE_PROCESS_SPEC,
     UID_DIVERSITY_SPEC,
     UID_ORBIT_3_SPEC,
@@ -52,14 +55,20 @@ class DetectionMatrixResult:
         uid_single = self.uid_report.by_configuration("single-process")
         uid_protected = self.uid_report.by_configuration("2-variant-uid")
         orbit_protected = self.uid_report.by_configuration("3-variant-uid-orbit")
+        combined_protected = self.uid_report.by_configuration(COMBINED_ORBIT_3_SPEC.name)
 
         guaranteed = [o for o in uid_protected if o.attack not in OUTSIDE_GUARANTEE]
         outside = [o for o in uid_protected if o.attack in OUTSIDE_GUARANTEE]
         single_guaranteed = [o for o in uid_single if o.attack not in OUTSIDE_GUARANTEE]
         orbit_guaranteed = [o for o in orbit_protected if o.attack not in OUTSIDE_GUARANTEE]
+        combined_guaranteed = [
+            o for o in combined_protected if o.attack not in OUTSIDE_GUARANTEE
+        ]
 
         address_single = self.address_report.by_configuration("single-process")
         address_protected = self.address_report.by_configuration("2-variant-address")
+        address_orbit = self.address_report.by_configuration(ADDRESS_ORBIT_3_SPEC.name)
+        combined_address = self.address_report.by_configuration(COMBINED_ORBIT_3_SPEC.name)
 
         return {
             "UID overwrite attacks compromise the unprotected server": any(
@@ -83,6 +92,14 @@ class DetectionMatrixResult:
             "address injection is detected under address partitioning": all(
                 o.detected for o in address_protected
             ),
+            "the partitioning family generalises: the 3-variant address orbit "
+            "detects every address injection": bool(address_orbit)
+            and all(o.detected for o in address_orbit),
+            "the combined 3-variant address+uid orbit detects both attack "
+            "families": bool(combined_guaranteed)
+            and bool(combined_address)
+            and all(o.kind is OutcomeKind.DETECTED for o in combined_guaranteed)
+            and all(o.detected for o in combined_address),
             "code injection is detected under instruction tagging": all(
                 o.detected for o in self.code_injection_outcomes if o.configuration != "single-process"
             ),
@@ -153,12 +170,17 @@ def run(*, parallelism: int = 1) -> DetectionMatrixResult:
     from repro.attacks.uid_attacks import standard_uid_attacks
 
     uid_report = run_campaign(
-        (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC, UID_ORBIT_3_SPEC),
+        (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC, UID_ORBIT_3_SPEC, COMBINED_ORBIT_3_SPEC),
         standard_uid_attacks(),
         parallelism=parallelism,
     )
     address_report = run_campaign(
-        (SINGLE_PROCESS_SPEC, ADDRESS_PARTITIONING_SPEC),
+        (
+            SINGLE_PROCESS_SPEC,
+            ADDRESS_PARTITIONING_SPEC,
+            ADDRESS_ORBIT_3_SPEC,
+            COMBINED_ORBIT_3_SPEC,
+        ),
         standard_address_attacks(),
         parallelism=parallelism,
     )

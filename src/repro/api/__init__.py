@@ -54,8 +54,10 @@ from repro.api.registry import (
     registry,
 )
 from repro.api.spec import (
+    ADDRESS_ORBIT_3_SPEC,
     ADDRESS_PARTITIONING_SPEC,
     ADDRESS_UID_SPEC,
+    COMBINED_ORBIT_3_SPEC,
     ExperimentSpec,
     FLEET_HALT_POLICIES,
     FleetSpec,
@@ -66,12 +68,16 @@ from repro.api.spec import (
     UID_ORBIT_3_SPEC,
     VariationSpec,
     WorkloadSpec,
+    address_orbit_spec,
+    combined_orbit_spec,
     uid_orbit_spec,
 )
 
 __all__ = [
+    "ADDRESS_ORBIT_3_SPEC",
     "ADDRESS_PARTITIONING_SPEC",
     "ADDRESS_UID_SPEC",
+    "COMBINED_ORBIT_3_SPEC",
     "CampaignReport",
     "ExperimentParameter",
     "ExperimentParameterError",
@@ -97,11 +103,13 @@ __all__ = [
     "VariationRegistryError",
     "VariationSpec",
     "WorkloadSpec",
+    "address_orbit_spec",
     "attacks_by_name",
     "build_engine",
     "build_session",
     "build_system",
     "build_variations",
+    "combined_orbit_spec",
     "experiments",
     "prepare_attack",
     "registry",

@@ -486,6 +486,21 @@ experiments.register(
     smoke_params={"parallelism": 8},
 )
 experiments.register(
+    "nscaling",
+    f"{_EXPERIMENTS}.nscaling:experiment",
+    description=(
+        "N-scaling sweep: uid_orbit_spec(n) and address_orbit_spec(n) over a "
+        "variant-count range, detection guarantee and lockstep cost vs N"
+    ),
+    parameters=(
+        ExperimentParameter("min_variants", int, 2, "smallest variant count swept"),
+        ExperimentParameter("max_variants", int, 6, "largest variant count swept"),
+        ExperimentParameter("requests", int, 12, "benign requests per configuration"),
+        ExperimentParameter("parallelism", int, 4, "campaign scheduler worker count"),
+    ),
+    smoke_params={"min_variants": 2, "max_variants": 3, "requests": 6, "parallelism": 4},
+)
+experiments.register(
     "ablations",
     f"{_EXPERIMENTS}.ablations:experiment",
     description="Design-choice ablations: detection calls, reexpression mask, unshared files",

@@ -20,7 +20,11 @@ import dataclasses
 import inspect
 from typing import Any, Callable, Iterator, Mapping, Optional
 
-from repro.core.variations.address import AddressPartitioning, ExtendedAddressPartitioning
+from repro.core.variations.address import (
+    AddressPartitioning,
+    ExtendedAddressPartitioning,
+    OrbitAddressPartitioning,
+)
 from repro.core.variations.base import Variation
 from repro.core.variations.instruction import InstructionSetTagging
 from repro.core.variations.uid import FullFlipUIDVariation, OrbitUIDVariation, UIDVariation
@@ -152,12 +156,18 @@ class VariationRegistry:
         raise UnknownVariationError(getattr(factory, "__name__", repr(factory)), self.names())
 
     def describe(self) -> list[dict[str, str]]:
-        """Rows for the CLI's ``variations`` listing."""
+        """Rows for the CLI's ``variations`` listing.
+
+        ``num_variants`` (injected by the builders from the system spec) and
+        ``scheme`` (a non-scalar object, library callers only) are omitted:
+        neither is settable from a JSON scenario's params.
+        """
+        hidden = {"num_variants", "scheme"}
         return [
             {
                 "name": entry.name,
                 "aliases": ", ".join(entry.aliases),
-                "parameters": ", ".join(p for p in entry.parameters() if p != "num_variants"),
+                "parameters": ", ".join(p for p in entry.parameters() if p not in hidden),
                 "description": entry.description,
             }
             for _, entry in sorted(self._entries.items())
@@ -201,13 +211,25 @@ registry.register(
 registry.register(
     "address",
     AddressPartitioning,
-    description="Disjoint high-bit address-space partitions (Cox et al. 2006)",
+    description=(
+        "Disjoint scheme-carved address-space partitions (high-bit split at N=2, "
+        "Cox et al. 2006; top-bits orbit beyond)"
+    ),
     aliases=("address-partitioning",),
+)
+registry.register(
+    "address-orbit",
+    OrbitAddressPartitioning,
+    description=(
+        "N-way address orbit: variant i owns the i-th top-bits slice of the "
+        "address space, generalising the 2-variant partitioning to any variant count"
+    ),
+    aliases=("address-orbit-partitioning",),
 )
 registry.register(
     "address-extended",
     ExtendedAddressPartitioning,
-    description="Partitioning plus a per-variant offset (Bruschi et al. 2007)",
+    description="Partitioning plus a per-variant offset (Bruschi et al. 2007), N-ary",
     aliases=("extended-address-partitioning",),
 )
 registry.register(

@@ -359,6 +359,23 @@ UID_ORBIT_3_SPEC = SystemSpec(
     transformed=True,
 )
 
+#: The address-side orbit: three variants in disjoint top-bits partitions.
+ADDRESS_ORBIT_3_SPEC = SystemSpec(
+    name="3-variant-address-orbit",
+    num_variants=3,
+    variations=(VariationSpec("address-orbit"),),
+    transformed=False,
+)
+
+#: Both orbit families layered: three variants, each with its own address
+#: partition AND its own UID mask -- the N>=3 analogue of Table 3's config 4.
+COMBINED_ORBIT_3_SPEC = SystemSpec(
+    name="3-variant-address+uid-orbit",
+    num_variants=3,
+    variations=(VariationSpec("address-orbit"), VariationSpec("uid-orbit")),
+    transformed=True,
+)
+
 #: The four configurations the detection matrix compares, in narrative order.
 STANDARD_SYSTEM_SPECS: tuple[SystemSpec, ...] = (
     SINGLE_PROCESS_SPEC,
@@ -374,5 +391,25 @@ def uid_orbit_spec(num_variants: int) -> SystemSpec:
         name=f"{num_variants}-variant-uid-orbit",
         num_variants=num_variants,
         variations=(VariationSpec("uid-orbit"),),
+        transformed=True,
+    )
+
+
+def address_orbit_spec(num_variants: int) -> SystemSpec:
+    """The N-variant address-orbit configuration (the sweep's address axis)."""
+    return SystemSpec(
+        name=f"{num_variants}-variant-address-orbit",
+        num_variants=num_variants,
+        variations=(VariationSpec("address-orbit"),),
+        transformed=False,
+    )
+
+
+def combined_orbit_spec(num_variants: int) -> SystemSpec:
+    """Both orbit families layered at N variants (address slices + UID masks)."""
+    return SystemSpec(
+        name=f"{num_variants}-variant-address+uid-orbit",
+        num_variants=num_variants,
+        variations=(VariationSpec("address-orbit"), VariationSpec("uid-orbit")),
         transformed=True,
     )

@@ -10,13 +10,22 @@
   diversity (identity vs XOR 0x7FFFFFFF).
 * :class:`~repro.core.variations.uid.FullFlipUIDVariation` -- the rejected
   XOR 0xFFFFFFFF design, kept for the Section 3.2 ablation.
+* :class:`~repro.core.variations.address.OrbitAddressPartitioning` /
+  :class:`~repro.core.variations.uid.OrbitUIDVariation` -- the N-ary
+  generalisations of both families, sharing the
+  :class:`~repro.memory.partition.PartitionScheme` protocol.
 """
 
-from repro.core.variations.address import AddressPartitioning, ExtendedAddressPartitioning
+from repro.core.variations.address import (
+    AddressPartitioning,
+    ExtendedAddressPartitioning,
+    OrbitAddressPartitioning,
+)
 from repro.core.variations.base import Variation, VariationStack
 from repro.core.variations.instruction import InstructionSetTagging
 from repro.core.variations.uid import (
     FullFlipUIDVariation,
+    OrbitUIDVariation,
     UID_MASK_31,
     UID_MASK_32,
     UIDVariation,
@@ -35,6 +44,8 @@ __all__ = [
     "ExtendedAddressPartitioning",
     "FullFlipUIDVariation",
     "InstructionSetTagging",
+    "OrbitAddressPartitioning",
+    "OrbitUIDVariation",
     "TABLE1_VARIATIONS",
     "UID_MASK_31",
     "UID_MASK_32",

@@ -1,28 +1,46 @@
-"""Address-space partitioning variations (rows 1 and 2 of Table 1).
+"""Address-space partitioning variations (rows 1 and 2 of Table 1), N-ary.
 
 The original N-variant systems paper partitions the address space: variant 0
 runs entirely at addresses with the high bit clear, variant 1 at addresses
 with the high bit set (``R_1(a) = a + 0x80000000``).  An attack that injects
-a complete absolute address can match at most one variant's partition; the
+a complete absolute address can match at most one variant's partition; every
 other variant faults when it dereferences the injected pointer and the
 monitor reports the attack.
 
-Bruschi et al.'s *extended* partitioning adds a further offset so that even
-the low-order bytes of equivalent addresses differ across variants, restoring
+Nothing in that argument is specific to N=2, and since PR 5 the variations
+here are thin wrappers over a :class:`~repro.memory.partition.PartitionScheme`:
+the scheme decides how the 32-bit space is carved (high bit, top
+``ceil(log2 N)`` bits, Bruschi's offset-extended slices) and the variation
+merely hands each variant its partition.  Bruschi et al.'s *extended*
+partitioning adds a further per-variant offset so that even the low-order
+bytes of equivalent addresses differ across variants, restoring
 (probabilistic) protection against partial pointer overwrites that leave the
-high byte intact.  Both are reproduced here; the detection matrix benchmark
-exercises the difference.
+high byte intact.  The detection matrix benchmark exercises the difference.
 """
 
 from __future__ import annotations
 
-from repro.core.reexpression import ReexpressionFunction, identity_reexpression, offset_reexpression
+from typing import Optional
+
+from repro.core.reexpression import ReexpressionFunction
 from repro.core.variations.base import Variation
-from repro.memory.address_space import AddressSpace, PARTITION_BIT
+from repro.memory.address_space import AddressSpace
+from repro.memory.partition import (
+    ExtendedOrbitScheme,
+    HighBitScheme,
+    OrbitScheme,
+    PartitionScheme,
+)
 
 
 class AddressPartitioning(Variation):
-    """Two variants with disjoint (high-bit partitioned) address spaces."""
+    """N variants with pairwise-disjoint (scheme-carved) address spaces.
+
+    With the defaults this is the paper's 2-variant high-bit split; any
+    other ``num_variants`` selects the top-bits orbit scheme, and an
+    explicit *scheme* overrides the choice entirely (it must carve regions
+    and agree on the partition count).
+    """
 
     name = "address-partitioning"
     target_type = "address"
@@ -33,24 +51,53 @@ class AddressPartitioning(Variation):
     canonical_syscalls = frozenset()
     transform_syscalls = frozenset()
 
-    def __init__(self) -> None:
-        self.num_variants = 2
+    def __init__(
+        self, num_variants: int = 2, *, scheme: Optional[PartitionScheme] = None
+    ) -> None:
+        if scheme is None:
+            scheme = HighBitScheme() if num_variants == 2 else OrbitScheme(num_variants)
+        if not scheme.carves_regions:
+            raise ValueError(
+                f"address partitioning needs a region-carving scheme, "
+                f"got {scheme.kind!r}"
+            )
+        if scheme.num_partitions != num_variants:
+            raise ValueError(
+                f"scheme {scheme.kind!r} carves {scheme.num_partitions} partitions, "
+                f"variation wants {num_variants}"
+            )
+        self.scheme = scheme
+        self.num_variants = num_variants
 
     def reexpression(self, index: int) -> ReexpressionFunction:
-        """``R_0(a) = a``; ``R_1(a) = a + 0x80000000``."""
+        """``R_i(a) = a + base_of(i)`` (identity for partition 0)."""
         self._check_index(index)
-        if index == 0:
-            return identity_reexpression("address")
-        return offset_reexpression(PARTITION_BIT, domain="address")
+        return self.scheme.reexpression(index, domain="address")
 
     def make_address_space(self, index: int) -> AddressSpace:
         """Variant *index*'s partitioned address space."""
         self._check_index(index)
-        return AddressSpace(partition=index)
+        return AddressSpace(scheme=self.scheme, index=index)
+
+
+class OrbitAddressPartitioning(AddressPartitioning):
+    """The N-ary orbit: top-``ceil(log2 N)``-bits partitions for any N >= 2.
+
+    The address-side sibling of the UID orbit: variant *i* owns the *i*-th
+    top-bits slice of the address space, so any injected absolute pointer is
+    valid in at most one of the N variants and every sibling's fault is the
+    detection event.  The campaign layer sweeps variant count through it.
+    """
+
+    name = "address-orbit-partitioning"
+    reference = "N-way extension of Cox et al. [16] (this reproduction)"
+
+    def __init__(self, num_variants: int = 3):
+        super().__init__(num_variants, scheme=OrbitScheme(num_variants))
 
 
 class ExtendedAddressPartitioning(AddressPartitioning):
-    """Partitioning plus a per-variant offset (Bruschi et al. [9]).
+    """Partitioning plus a per-variant offset (Bruschi et al. [9]), N-ary.
 
     The extra offset makes even the low bytes of corresponding addresses
     differ between variants, so a partial (e.g. 3-low-byte) pointer overwrite
@@ -60,20 +107,8 @@ class ExtendedAddressPartitioning(AddressPartitioning):
     name = "extended-address-partitioning"
     reference = "Bruschi et al., IWIA 2007 [9]"
 
-    def __init__(self, offset: int = 0x00010000):
-        super().__init__()
-        if offset <= 0 or offset >= PARTITION_BIT:
-            raise ValueError("offset must be positive and smaller than the partition bit")
+    def __init__(self, offset: int = 0x00010000, num_variants: int = 2):
+        super().__init__(
+            num_variants, scheme=ExtendedOrbitScheme(num_variants, offset=offset)
+        )
         self.offset = offset
-
-    def reexpression(self, index: int) -> ReexpressionFunction:
-        """``R_0(a) = a``; ``R_1(a) = a + 0x80000000 + offset``."""
-        self._check_index(index)
-        if index == 0:
-            return identity_reexpression("address")
-        return offset_reexpression(PARTITION_BIT + self.offset, domain="address")
-
-    def make_address_space(self, index: int) -> AddressSpace:
-        """Variant *index*'s partitioned-and-offset address space."""
-        self._check_index(index)
-        return AddressSpace(partition=index, base_offset=self.offset if index == 1 else 0)

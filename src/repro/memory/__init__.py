@@ -3,8 +3,12 @@
 This package stands in for the real process memory the paper's attacks
 operate on.  It provides:
 
+* :mod:`~repro.memory.partition` -- the N-ary
+  :class:`~repro.memory.partition.PartitionScheme` family (the paper's
+  high-bit split, the top-bits orbit, Bruschi's offset-extended variant and
+  the UID XOR-mask family) behind one re-expression protocol;
 * :class:`~repro.memory.address_space.AddressSpace` -- per-variant address
-  spaces with high-bit partitioning (the Figure 1 variation);
+  spaces carved by a partition scheme (the Figure 1 variation);
 * :class:`~repro.memory.memory_model.MemoryRegion` /
   :class:`~repro.memory.memory_model.MemoryVariable` /
   :class:`~repro.memory.memory_model.StackFrame` -- byte-addressable storage
@@ -15,6 +19,19 @@ operate on.  It provides:
 """
 
 from repro.memory.address_space import ADDRESS_MASK, PARTITION_BIT, AddressSpace
+from repro.memory.partition import (
+    ExtendedOrbitScheme,
+    HighBitScheme,
+    OrbitScheme,
+    PartitionScheme,
+    PartitionSchemeError,
+    SCHEMES,
+    XorMaskScheme,
+    create_scheme,
+    default_uid_masks,
+    register_scheme,
+    scheme_kinds,
+)
 from repro.memory.corruption import (
     CorruptionSpec,
     apply_corruption,
@@ -39,17 +56,28 @@ __all__ = [
     "PARTITION_BIT",
     "AddressSpace",
     "CorruptionSpec",
+    "ExtendedOrbitScheme",
+    "HighBitScheme",
     "MemoryRegion",
     "MemoryVariable",
+    "OrbitScheme",
+    "PartitionScheme",
+    "PartitionSchemeError",
+    "SCHEMES",
     "StackFrame",
     "WORD_MASK",
     "WORD_SIZE",
+    "XorMaskScheme",
     "apply_corruption",
     "corruption_outcomes",
+    "create_scheme",
+    "default_uid_masks",
     "detectable_by_disjoint_inverses",
     "flip_bit",
     "overflow_buffer",
     "overflow_payload",
     "overwrite_low_bytes",
     "overwrite_word",
+    "register_scheme",
+    "scheme_kinds",
 ]

@@ -1,17 +1,23 @@
-"""Simulated process address spaces with partitioning support.
+"""Simulated process address spaces with N-ary partitioning support.
 
-Address-space partitioning (Figure 1 and Table 1 of the paper) builds two
-variants whose valid addresses are disjoint: variant 0 only uses addresses
-with the high bit clear, variant 1 only addresses with the high bit set
-(``R_1(a) = a + 0x80000000``).  Any attack that injects a *concrete absolute
-address* can therefore be valid in at most one variant; the other variant's
-access raises a segmentation fault which the monitor reports.
+Address-space partitioning (Figure 1 and Table 1 of the paper) builds
+variants whose valid addresses are disjoint: under the paper's 2-variant
+scheme, variant 0 only uses addresses with the high bit clear, variant 1
+only addresses with the high bit set (``R_1(a) = a + 0x80000000``).  Any
+attack that injects a *concrete absolute address* can therefore be valid in
+at most one variant; every sibling variant's access raises a segmentation
+fault which the monitor reports.
 
-This module models that property directly: an :class:`AddressSpace` owns a
-set of mapped :class:`~repro.memory.memory_model.MemoryRegion` objects and a
-partition constraint.  Every load/store validates that the address lies in
-the variant's partition *and* inside a mapped region; otherwise it raises
-:class:`~repro.kernel.errors.SegmentationFault`.
+This module models that property directly, for any partition count: an
+:class:`AddressSpace` owns a set of mapped
+:class:`~repro.memory.memory_model.MemoryRegion` objects and (optionally)
+one partition of a :class:`~repro.memory.partition.PartitionScheme`.  Every
+load/store validates that the address lies in the space's partition *and*
+inside a mapped region; otherwise it raises
+:class:`~repro.kernel.errors.SegmentationFault`.  Which addresses belong to
+the partition -- the high-bit half, one of N top-bits slices, a
+Bruschi-style offset-extended slice -- is entirely the scheme's decision;
+the address space itself no longer hardcodes any split.
 """
 
 from __future__ import annotations
@@ -20,12 +26,14 @@ from typing import Optional
 
 from repro.kernel.errors import SegmentationFault
 from repro.memory.memory_model import MemoryRegion
+from repro.memory.partition import PartitionScheme
 
 #: Size of the simulated address space (32-bit).
 ADDRESS_BITS = 32
 ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
 
-#: The bit used to partition address spaces between two variants.
+#: The bit the paper's 2-variant scheme splits on (kept for formulas and
+#: layout constants; the actual split now lives in the partition schemes).
 PARTITION_BIT = 0x80000000
 
 
@@ -34,44 +42,58 @@ class AddressSpace:
 
     Parameters
     ----------
-    partition:
-        ``None`` for an unpartitioned space (ordinary process), ``0`` for the
-        low partition (addresses with the high bit clear) and ``1`` for the
-        high partition (addresses with the high bit set).
-    base_offset:
-        Added to every region's nominal base when the space is created via
-        :meth:`map_region`; this is how the extended partitioning variation
-        (Bruschi et al.) adds an extra offset on top of the partition bit.
+    scheme:
+        The :class:`~repro.memory.partition.PartitionScheme` that carves the
+        address space, or ``None`` for an unpartitioned space (an ordinary
+        process).  The scheme must carve regions (mask schemes such as the
+        UID XOR family re-express values in place and cannot back an address
+        space).
+    index:
+        Which of the scheme's partitions this space occupies.  Must be 0
+        when the space is unpartitioned.
     """
 
-    def __init__(self, partition: Optional[int] = None, base_offset: int = 0):
-        if partition not in (None, 0, 1):
-            raise ValueError(f"partition must be None, 0 or 1, got {partition!r}")
-        self.partition = partition
-        self.base_offset = base_offset
+    def __init__(self, scheme: Optional[PartitionScheme] = None, index: int = 0):
+        if scheme is None:
+            if index != 0:
+                raise ValueError(
+                    f"an unpartitioned address space has no partition index, got {index}"
+                )
+        else:
+            if not scheme.carves_regions:
+                raise ValueError(
+                    f"{scheme.kind!r} schemes do not carve address regions and "
+                    f"cannot back an address space"
+                )
+            scheme.check_index(index)
+        self.scheme = scheme
+        self.index = index
         self.regions: list[MemoryRegion] = []
+
+    @property
+    def partition(self) -> Optional[int]:
+        """This space's partition index, or ``None`` when unpartitioned."""
+        return None if self.scheme is None else self.index
 
     # -- address validity ----------------------------------------------------
 
     def partition_base(self) -> int:
         """The offset this space adds to nominal (variant-neutral) addresses."""
-        if self.partition in (None, 0):
-            return self.base_offset if self.partition == 1 else 0
-        return PARTITION_BIT + self.base_offset
+        if self.scheme is None:
+            return 0
+        return self.scheme.base_of(self.index)
 
     def in_partition(self, address: int) -> bool:
         """True when *address* falls inside this space's partition."""
-        address &= ADDRESS_MASK
-        if self.partition is None:
+        if self.scheme is None:
             return True
-        high_bit_set = bool(address & PARTITION_BIT)
-        return high_bit_set == (self.partition == 1)
+        return self.scheme.partition_of(address & ADDRESS_MASK) == self.index
 
     def translate(self, nominal_address: int) -> int:
         """Map a variant-neutral *nominal* address into this space.
 
         This is the reexpression function ``R_i`` for addresses: identity for
-        the low partition, ``+0x80000000 (+offset)`` for the high partition.
+        partition 0, ``+base_of(i)`` for every other partition.
         """
         return (nominal_address + self.partition_base()) & ADDRESS_MASK
 
@@ -86,9 +108,25 @@ class AddressSpace:
 
         The region's base address is interpreted as nominal and shifted by
         :meth:`partition_base`, so the same program maps "the stack at
-        nominal 0x00100000" and ends up with disjoint concrete addresses in
-        the two variants.
+        nominal 0x00100000" and ends up with pairwise-disjoint concrete
+        addresses across the variants.
+
+        The nominal region must fit inside the scheme's per-partition
+        capacity: a layout that was legal under a wide scheme (N=2 leaves
+        2^31 nominal addresses) can overhang a narrower partition at
+        higher N, and the overhanging addresses would land in a sibling's
+        partition -- every access there would fault, turning a layout
+        mistake into benign-workload false alarms.  Rejecting it at map
+        time keeps the error at its cause.
         """
+        if self.scheme is not None:
+            capacity = self.scheme.nominal_capacity
+            if region.base + region.size > capacity:
+                raise ValueError(
+                    f"region {region.name} (nominal 0x{region.base:08x}+0x{region.size:x}) "
+                    f"exceeds the {self.scheme.kind} scheme's per-partition capacity "
+                    f"of 0x{capacity:08x} nominal addresses"
+                )
         relocated = region.relocate(self.translate(region.base))
         for existing in self.regions:
             if relocated.overlaps(existing):

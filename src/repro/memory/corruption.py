@@ -23,7 +23,7 @@ attack code and property-based tests share one vocabulary.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.memory.memory_model import MemoryRegion, MemoryVariable, WORD_MASK, WORD_SIZE
 
@@ -135,14 +135,14 @@ def overflow_payload(
 
 
 def corruption_outcomes(
-    original_values: tuple[int, int],
+    original_values: Sequence[int],
     spec: CorruptionSpec,
-) -> tuple[int, int]:
-    """Predict the post-corruption concrete values in a two-variant system.
+) -> tuple[int, ...]:
+    """Predict the post-corruption concrete values in an N-variant system.
 
     Given the per-variant original concrete values of the targeted word and a
     corruption spec, return the concrete values after the *same* attack input
-    is applied to both variants.  Used by analytical detection arguments and
+    is applied to every variant.  Used by analytical detection arguments and
     property-based tests (the monitor's observation must match this model).
     """
     results = []
@@ -155,19 +155,20 @@ def corruption_outcomes(
             results.append((original & keep_mask) | (spec.payload & low_mask))
         else:
             results.append(original ^ (1 << spec.payload))
-    return tuple(results)  # type: ignore[return-value]
+    return tuple(results)
 
 
 def detectable_by_disjoint_inverses(
-    post_values: tuple[int, int],
-    inverses: tuple[Callable[[int], int], Callable[[int], int]],
+    post_values: Sequence[int],
+    inverses: Sequence[Callable[[int], int]],
 ) -> bool:
     """Decide whether the monitor detects the corruption.
 
     The monitor applies each variant's inverse reexpression function to the
     concrete value it observes and compares the decoded values.  Detection
-    happens exactly when the decoded values differ.
+    happens exactly when at least two variants decode different values --
+    for any variant count, which is what lets the same predicate serve the
+    paper's 2-variant systems and the N-ary orbit generalisation.
     """
-    decoded_0 = inverses[0](post_values[0])
-    decoded_1 = inverses[1](post_values[1])
-    return decoded_0 != decoded_1
+    decoded = [invert(value) for value, invert in zip(post_values, inverses)]
+    return len(set(decoded)) > 1

@@ -1,0 +1,422 @@
+"""N-ary partition schemes: the one re-expression-family abstraction.
+
+The paper's two data-diversity families are instances of a single idea:
+pick, for each of N variants, a re-expression of a value space such that a
+concrete value an attacker injects identically into every variant cannot be
+*valid* (or cannot *decode identically*) in all of them.
+
+* **Address-space partitioning** carves the 32-bit address space into N
+  disjoint regions; variant *i* only maps addresses inside region *i*, so an
+  injected absolute pointer lies in at most one variant's region and every
+  sibling segfaults on the dereference.
+* **UID re-expression** gives variant *i* its own XOR mask; the same concrete
+  ``uid_t`` decodes to N pairwise-different semantic users, so the monitor
+  sees a divergence at first use.
+
+A :class:`PartitionScheme` captures what both families share: a partition
+count, per-variant ``translate``/``untranslate`` maps (the re-expression
+``R_i`` and its inverse), and the two invariants the security argument
+needs -- every ``translate``/``untranslate`` pair round-trips (normal
+equivalence) and the inverses are pairwise disjoint (detection).  Schemes
+that carve the value space into *regions* additionally expose ``base_of``
+and ``partition_of`` with the placement invariant
+``partition_of(translate(i, a)) == i`` for every in-capacity nominal ``a``.
+
+Concrete schemes:
+
+* :class:`HighBitScheme` -- the paper's N=2 high-bit split
+  (``R_1(a) = a + 0x80000000``, Cox et al. 2006).
+* :class:`OrbitScheme` -- the N-ary generalisation: the top
+  ``ceil(log2 N)`` bits select the partition, so any N >= 2 variants get
+  pairwise-disjoint address regions.
+* :class:`ExtendedOrbitScheme` -- Bruschi et al.'s offset-extended
+  partitioning, N-ary: partition *i* is additionally slid by ``i * offset``
+  so even the low bytes of corresponding addresses differ, restoring
+  probabilistic protection against partial pointer overwrites.
+* :class:`XorMaskScheme` -- the UID re-expression family: per-variant XOR
+  masks (pairwise distinct, sign bit clear).  It does not carve regions --
+  every concrete value is representable in every variant -- but satisfies
+  the same round-trip and disjoint-inverse invariants through the same
+  protocol, which is what lets :class:`~repro.core.variations.uid.\
+OrbitUIDVariation` and the address variations share one API.
+
+The module-level :data:`SCHEMES` registry maps stable kind names to
+factories (``create_scheme("orbit", 5)``); new schemes register once and
+become constructible wherever a scheme is accepted.
+
+This module deliberately imports nothing from :mod:`repro.core` at module
+level (``repro.core.variations`` imports :mod:`repro.memory`);
+:class:`~repro.core.reexpression.ReexpressionFunction` objects are built
+lazily inside :meth:`PartitionScheme.reexpression`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+#: Width of the partitioned value spaces (32-bit addresses and uid_t).
+VALUE_BITS = 32
+VALUE_MASK = (1 << VALUE_BITS) - 1
+
+#: The paper's mask: flips the 31 low bits, leaves the sign bit alone.
+UID_MASK_31 = 0x7FFFFFFF
+
+
+class PartitionSchemeError(ValueError):
+    """A scheme was constructed or used inconsistently."""
+
+
+class PartitionScheme:
+    """One N-ary re-expression family over a fixed-width value space.
+
+    Subclasses define :meth:`base_of` (region-carving schemes) or override
+    :meth:`translate`/:meth:`untranslate` directly (mask schemes).  The two
+    family-wide invariants -- checked by the property-test suite for every
+    registered scheme -- are:
+
+    * **round-trip**: ``untranslate(i, translate(i, x)) == x`` for all x;
+    * **disjoint inverses**: ``untranslate(i, v)`` are pairwise different
+      for every concrete v, so an injected value decodes differently in at
+      least two variants.
+
+    Region-carving schemes (:attr:`carves_regions` true) additionally
+    guarantee **placement**: ``partition_of(translate(i, a)) == i`` for
+    every nominal ``a < nominal_capacity``.
+    """
+
+    #: Stable kind name (the :data:`SCHEMES` registry key).
+    kind: str = "scheme"
+
+    #: True when the scheme assigns each concrete value to at most one
+    #: partition (address-style); False for mask schemes where every value
+    #: is representable in every variant (UID-style).
+    carves_regions: bool = True
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 2:
+            raise PartitionSchemeError(
+                f"a partition scheme needs at least two partitions, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    # -- the protocol ----------------------------------------------------------
+
+    def base_of(self, index: int) -> int:
+        """The offset partition *index* adds to nominal values (region schemes)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not place partitions at base offsets"
+        )
+
+    def partition_of(self, value: int) -> Optional[int]:
+        """The unique partition containing concrete *value*, or ``None``.
+
+        ``None`` means no partition claims the value: for region schemes a
+        gap every variant faults on, for mask schemes (which do not carve
+        the space) always.
+        """
+        return None
+
+    def translate(self, index: int, value: int) -> int:
+        """Re-express nominal *value* into partition *index* (``R_index``)."""
+        self.check_index(index)
+        return (value + self.base_of(index)) & VALUE_MASK
+
+    def untranslate(self, index: int, value: int) -> int:
+        """Invert :meth:`translate`: concrete *value* back to nominal form."""
+        self.check_index(index)
+        return (value - self.base_of(index)) & VALUE_MASK
+
+    @property
+    def nominal_capacity(self) -> int:
+        """How many nominal values are guaranteed to place correctly.
+
+        Every nominal value in ``[0, nominal_capacity)`` satisfies the
+        placement invariant in every partition; mask schemes re-express the
+        whole space.
+        """
+        return 1 << VALUE_BITS
+
+    # -- derived helpers -------------------------------------------------------
+
+    def reexpression(self, index: int, domain: str = "address"):
+        """Partition *index*'s re-expression as a
+        :class:`~repro.core.reexpression.ReexpressionFunction`."""
+        # Imported lazily: repro.core.variations imports repro.memory, so a
+        # module-level import here would be circular.
+        from repro.core.reexpression import identity_reexpression, offset_reexpression
+
+        self.check_index(index)
+        base = self.base_of(index)
+        if base == 0:
+            return identity_reexpression(domain)
+        return offset_reexpression(base, domain=domain)
+
+    def reexpressions(self, domain: str = "address") -> list:
+        """All partitions' re-expression functions, in partition order."""
+        return [self.reexpression(index, domain) for index in range(self.num_partitions)]
+
+    def decodes_of(self, value: int) -> list[int]:
+        """Concrete *value* decoded by every partition's inverse, in order."""
+        return [self.untranslate(index, value) for index in range(self.num_partitions)]
+
+    def disjoint_at(self, value: int) -> bool:
+        """True when the disjoint-inverses invariant holds at *value*."""
+        decoded = self.decodes_of(value)
+        return len(set(decoded)) == len(decoded)
+
+    def check_index(self, index: int) -> None:
+        """Validate a partition index (raises :class:`PartitionSchemeError`)."""
+        if not 0 <= index < self.num_partitions:
+            raise PartitionSchemeError(
+                f"partition index {index} out of range for {self.kind} scheme "
+                f"({self.num_partitions} partitions)"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"{self.kind} scheme, {self.num_partitions} partitions"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} kind={self.kind!r} N={self.num_partitions}>"
+
+
+def _partition_bits(num_partitions: int) -> int:
+    """The top bits needed to address *num_partitions* disjoint slices."""
+    return max(1, (num_partitions - 1).bit_length())
+
+
+class OrbitScheme(PartitionScheme):
+    """Top-``ceil(log2 N)``-bits partitioning, the N-ary address scheme.
+
+    Partition *i* occupies the slice whose top bits encode *i*; concrete
+    values whose top bits encode an index >= N belong to no partition (every
+    variant faults there, which only strengthens detection).  For N=2 this
+    is numerically the paper's high-bit split.
+    """
+
+    kind = "orbit"
+
+    def __init__(self, num_partitions: int):
+        super().__init__(num_partitions)
+        self.partition_bits = _partition_bits(num_partitions)
+        self.shift = VALUE_BITS - self.partition_bits
+
+    def base_of(self, index: int) -> int:
+        self.check_index(index)
+        return index << self.shift
+
+    def partition_of(self, value: int) -> Optional[int]:
+        index = (value & VALUE_MASK) >> self.shift
+        return index if index < self.num_partitions else None
+
+    @property
+    def nominal_capacity(self) -> int:
+        return 1 << self.shift
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: top {self.partition_bits} bit(s) select one of "
+            f"{self.num_partitions} partitions of 2^{self.shift} addresses"
+        )
+
+
+class HighBitScheme(OrbitScheme):
+    """The paper's scheme: two partitions split on the address high bit.
+
+    ``R_0(a) = a``; ``R_1(a) = a + 0x80000000`` (Cox et al., USENIX Security
+    2006).  Kept as its own kind so the paper-exact configuration stays
+    nameable even though it coincides with ``OrbitScheme(2)`` numerically.
+    """
+
+    kind = "high-bit"
+
+    def __init__(self, num_partitions: int = 2):
+        if num_partitions != 2:
+            raise PartitionSchemeError(
+                f"the high-bit scheme is defined for exactly two partitions, "
+                f"got {num_partitions}"
+            )
+        super().__init__(num_partitions)
+
+
+class ExtendedOrbitScheme(OrbitScheme):
+    """Orbit partitioning plus a per-partition slide (Bruschi et al. 2007).
+
+    Partition *i* starts at ``(i << shift) + i * offset``, so corresponding
+    addresses differ across variants even in their low bytes and a partial
+    (low-byte) pointer overwrite is detected with high probability.  The
+    N=2 instance reproduces ``ExtendedAddressPartitioning``'s historical
+    layout: variant 1 at ``0x80000000 + offset``.
+    """
+
+    kind = "extended-orbit"
+
+    def __init__(self, num_partitions: int = 2, offset: int = 0x00010000):
+        super().__init__(num_partitions)
+        slice_size = 1 << self.shift
+        if offset <= 0 or (num_partitions - 1) * offset >= slice_size:
+            raise PartitionSchemeError(
+                f"offset must be positive and small enough that every slide "
+                f"stays inside its 2^{self.shift}-address slice, got 0x{offset:x}"
+            )
+        self.offset = offset
+
+    def base_of(self, index: int) -> int:
+        self.check_index(index)
+        return (index << self.shift) + index * self.offset
+
+    @property
+    def nominal_capacity(self) -> int:
+        return (1 << self.shift) - (self.num_partitions - 1) * self.offset
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: {self.num_partitions} top-bit partitions, "
+            f"each slid by a further 0x{self.offset:x} per index"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The UID family: XOR-mask re-expression through the same protocol
+# ---------------------------------------------------------------------------
+
+#: Hand-picked 31-bit masks for the first orbit variants: identity, the
+#: paper's mask, then alternating/stripe patterns that stay pairwise distinct.
+_ORBIT_MASK_TABLE = (
+    0x00000000,
+    UID_MASK_31,
+    0x55555555,
+    0x2AAAAAAA,
+    0x33333333,
+    0x4CCCCCCC,
+    0x0F0F0F0F,
+    0x70F0F0F0,
+)
+
+
+def default_uid_masks(num_variants: int) -> tuple[int, ...]:
+    """Pairwise-distinct 31-bit XOR masks, one per variant (``mask_0 = 0``).
+
+    The detection argument of Section 3 only needs the masks to differ
+    pairwise: an attacker-injected concrete value ``v`` decodes to
+    ``v XOR mask_i`` in variant *i*, so distinct masks guarantee at least two
+    variants disagree about any injected value.  Masks never set bit 31, so
+    every variant's representation of a valid UID stays a value the kernel
+    accepts (the Section 3.2 constraint).  The first eight masks come from a
+    fixed table; beyond that a deterministic multiplicative walk extends the
+    orbit, so the same ``num_variants`` always yields the same masks.
+    """
+    if num_variants < 2:
+        raise ValueError(f"an orbit needs at least two variants, got {num_variants}")
+    masks = list(_ORBIT_MASK_TABLE[:num_variants])
+    seen = set(masks)
+    candidate = 0x6A09E667  # frac(sqrt(2)) -- an arbitrary fixed seed
+    while len(masks) < num_variants:
+        candidate = (candidate * 0x9E3779B1 + 0x7F4A7C15) & UID_MASK_31
+        if candidate and candidate not in seen:
+            masks.append(candidate)
+            seen.add(candidate)
+    return tuple(masks)
+
+
+class XorMaskScheme(PartitionScheme):
+    """Per-partition XOR masks: the UID re-expression family as a scheme.
+
+    XOR with a constant is self-inverse, so ``translate`` and
+    ``untranslate`` coincide; the disjoint-inverses invariant reduces to the
+    masks being pairwise distinct, which the constructor enforces.  The
+    scheme does not carve the value space -- every concrete value is a legal
+    representation in every variant, and detection rests entirely on decode
+    divergence -- so :meth:`partition_of` is always ``None`` and
+    :meth:`base_of` is unavailable.
+    """
+
+    kind = "uid-xor"
+    carves_regions = False
+
+    def __init__(self, masks: tuple[int, ...]):
+        masks = tuple(int(mask) & VALUE_MASK for mask in masks)
+        super().__init__(len(masks))
+        if len(set(masks)) != len(masks):
+            raise PartitionSchemeError(f"XOR masks must be pairwise distinct, got {masks}")
+        # The Section 3.2 constraint: a mask touching the sign bit re-expresses
+        # valid UIDs into values the kernel refuses (the rejected full-flip
+        # design), so the scheme family excludes it by construction.
+        signed = [mask for mask in masks if mask & ~UID_MASK_31]
+        if signed:
+            raise PartitionSchemeError(
+                f"XOR masks must leave the sign bit clear (Section 3.2), got "
+                f"{', '.join(f'0x{mask:08X}' for mask in signed)}"
+            )
+        self.masks = masks
+
+    @classmethod
+    def for_uids(cls, num_partitions: int) -> "XorMaskScheme":
+        """The standard UID orbit: :func:`default_uid_masks` masks."""
+        return cls(default_uid_masks(num_partitions))
+
+    def mask_of(self, index: int) -> int:
+        """Partition *index*'s XOR mask."""
+        self.check_index(index)
+        return self.masks[index]
+
+    def translate(self, index: int, value: int) -> int:
+        return (value ^ self.mask_of(index)) & VALUE_MASK
+
+    def untranslate(self, index: int, value: int) -> int:
+        # XOR with a constant is self-inverse; delegating (rather than
+        # aliasing the method at class level) keeps that true for any
+        # subclass that overrides translate.
+        return self.translate(index, value)
+
+    def reexpression(self, index: int, domain: str = "uid"):
+        from repro.core.reexpression import identity_reexpression, xor_reexpression
+
+        mask = self.mask_of(index)
+        if mask == 0:
+            return identity_reexpression(domain)
+        return xor_reexpression(mask, domain)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: {self.num_partitions} pairwise-distinct XOR masks "
+            f"({', '.join(f'0x{mask:08X}' for mask in self.masks)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The scheme registry
+# ---------------------------------------------------------------------------
+
+SchemeFactory = Callable[..., PartitionScheme]
+
+#: Stable kind name -> factory.  Factories take ``num_partitions`` first and
+#: any scheme-specific keyword parameters after it.
+SCHEMES: dict[str, SchemeFactory] = {
+    HighBitScheme.kind: HighBitScheme,
+    OrbitScheme.kind: OrbitScheme,
+    ExtendedOrbitScheme.kind: ExtendedOrbitScheme,
+    XorMaskScheme.kind: XorMaskScheme.for_uids,
+}
+
+
+def register_scheme(kind: str, factory: SchemeFactory) -> None:
+    """Register *factory* under *kind* (re-registering replaces the entry)."""
+    SCHEMES[kind] = factory
+
+
+def scheme_kinds() -> list[str]:
+    """The registered scheme kinds, sorted."""
+    return sorted(SCHEMES)
+
+
+def create_scheme(kind: str, num_partitions: int, **params) -> PartitionScheme:
+    """Build a scheme from its registered kind name."""
+    try:
+        factory = SCHEMES[kind]
+    except KeyError:
+        raise PartitionSchemeError(
+            f"unknown partition scheme {kind!r}; registered schemes: "
+            f"{', '.join(scheme_kinds())}"
+        ) from None
+    return factory(num_partitions, **params)

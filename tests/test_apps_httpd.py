@@ -32,6 +32,7 @@ from repro.kernel.host import DEFAULT_HTTPD_CONF, HTTP_PORT, build_standard_host
 from repro.kernel.libc import Libc
 from repro.kernel.scheduler import ProgramRunner
 from repro.memory.address_space import AddressSpace
+from repro.memory.partition import HighBitScheme
 
 
 class TestConfig:
@@ -123,7 +124,7 @@ class TestVulnerableState:
         assert layout.worker_uid.get() == 0
 
     def test_banner_readable_through_pointer(self):
-        space = AddressSpace(partition=1)
+        space = AddressSpace(scheme=HighBitScheme(), index=1)
         layout = build_server_state(space, worker_uid=33, worker_gid=33, admin_uid=0)
         assert read_banner(space, layout) == BANNER_TEXT
 

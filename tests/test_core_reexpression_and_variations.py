@@ -181,7 +181,7 @@ class TestAddressVariations:
     def test_extended_partitioning_adds_offset(self):
         variation = ExtendedAddressPartitioning(offset=0x10000)
         assert variation.reexpression(1)(0x1000) == 0x80011000
-        assert variation.make_address_space(1).base_offset == 0x10000
+        assert variation.make_address_space(1).partition_base() == 0x80010000
 
     def test_extended_offset_validation(self):
         with pytest.raises(ValueError):

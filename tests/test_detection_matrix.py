@@ -22,7 +22,9 @@ Cell semantics (:class:`repro.attacks.outcomes.OutcomeKind`):
 import pytest
 
 from repro.api.spec import (
+    ADDRESS_ORBIT_3_SPEC,
     ADDRESS_UID_SPEC,
+    COMBINED_ORBIT_3_SPEC,
     STANDARD_SYSTEM_SPECS,
     UID_DIVERSITY_SPEC,
 )
@@ -135,6 +137,28 @@ class TestAddressAttackMatrix:
 
     def test_matrix_covers_every_standard_address_attack(self):
         assert set(ADDRESS_MATRIX) == set(_address_attacks_by_name())
+
+
+class TestOrbitMatrixExtension:
+    """The N=3 orbit columns: the same guarantees (and the same documented
+    blind spots) must hold when either re-expression family is N-ary."""
+
+    @pytest.mark.parametrize("attack_name", sorted(ADDRESS_MATRIX))
+    def test_address_orbit_detects_every_injection(self, attack_name):
+        attack = _address_attacks_by_name()[attack_name]
+        for spec in (ADDRESS_ORBIT_3_SPEC, COMBINED_ORBIT_3_SPEC):
+            outcome = run_address_attack_nvariant(attack, spec)
+            assert outcome.kind is DET, outcome.describe()
+
+    @pytest.mark.parametrize("attack_name", sorted(UID_MATRIX))
+    def test_combined_orbit_matches_the_2variant_uid_column(self, attack_name):
+        """Layering the address orbit cannot weaken (or spuriously widen)
+        the UID guarantee: the combined N=3 column equals the paper's
+        2-variant address+uid column cell for cell."""
+        attack = _uid_attacks_by_name()[attack_name]
+        outcome = run_uid_attack(attack, COMBINED_ORBIT_3_SPEC)
+        expected = UID_MATRIX[attack_name][CONFIGURATIONS.index("2-variant-address+uid")]
+        assert outcome.kind is expected, outcome.describe()
 
 
 class TestCodeInjectionMatrix:

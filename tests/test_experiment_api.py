@@ -33,12 +33,14 @@ from repro.api.experiments import (
 )
 from repro.api.spec import ExperimentSpec
 
-#: Every experiment the registry must expose (the paper's evaluation).
+#: Every experiment the registry must expose (the paper's evaluation plus
+#: the PR-5 N-scaling sweep).
 EXPECTED_EXPERIMENTS = (
     "ablations",
     "detection",
     "figure1",
     "figure2",
+    "nscaling",
     "section4",
     "table1",
     "table2",
@@ -51,6 +53,7 @@ FAST_PARAMS = {
     "table3": {"requests": 10},
     "figure1": {"benign_requests": 4},
     "ablations": {"user_space_uses": 3, "requests": 2},
+    "nscaling": {"min_variants": 2, "max_variants": 3, "requests": 6},
 }
 
 
@@ -88,7 +91,7 @@ class TestExperimentSpec:
 
 
 class TestRegistry:
-    def test_all_eight_experiments_registered(self):
+    def test_every_expected_experiment_registered(self):
         assert tuple(experiments.names()) == EXPECTED_EXPERIMENTS
         for name in EXPECTED_EXPERIMENTS:
             assert name in experiments
@@ -253,7 +256,7 @@ class TestCLI:
         path.write_text(json.dumps(data))
         return path
 
-    def test_experiments_listing_names_all_eight(self, capsys):
+    def test_experiments_listing_names_every_entry(self, capsys):
         assert cli_main(["experiments"]) == 0
         out = capsys.readouterr().out
         for name in EXPECTED_EXPERIMENTS:

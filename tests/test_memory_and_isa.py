@@ -8,6 +8,7 @@ from repro.isa.interpreter import Interpreter, MachineState
 from repro.isa.tagging import inject_untagged, retag_stream, tag_stream, untag_stream
 from repro.kernel.errors import IllegalInstructionFault, SegmentationFault
 from repro.memory.address_space import AddressSpace, PARTITION_BIT
+from repro.memory.partition import ExtendedOrbitScheme, HighBitScheme
 from repro.memory.corruption import (
     CorruptionSpec,
     apply_corruption,
@@ -71,20 +72,22 @@ class TestAddressSpacePartitioning:
         assert space.load_word(region.base) == 0
 
     def test_partition_translation_matches_table1(self):
-        low = AddressSpace(partition=0)
-        high = AddressSpace(partition=1)
+        scheme = HighBitScheme()
+        low = AddressSpace(scheme=scheme, index=0)
+        high = AddressSpace(scheme=scheme, index=1)
         assert low.translate(0x1000) == 0x1000
         assert high.translate(0x1000) == 0x80001000
         assert high.untranslate(0x80001000) == 0x1000
 
     def test_access_outside_partition_faults(self):
-        high = AddressSpace(partition=1)
+        high = AddressSpace(scheme=HighBitScheme(), index=1)
         high.map_region(MemoryRegion("data", 0x1000, 64))
         with pytest.raises(SegmentationFault):
             high.load_bytes(0x1000, 4)  # low-partition absolute address
 
     def test_injected_absolute_address_valid_in_at_most_one_variant(self):
-        spaces = [AddressSpace(partition=i) for i in range(2)]
+        scheme = HighBitScheme()
+        spaces = [AddressSpace(scheme=scheme, index=i) for i in range(2)]
         for space in spaces:
             space.map_region(MemoryRegion("data", 0x1000, 64))
         injected = 0x1010
@@ -98,7 +101,7 @@ class TestAddressSpacePartitioning:
         assert outcomes.count("fault") >= 1
 
     def test_extended_offset_changes_low_bytes(self):
-        space = AddressSpace(partition=1, base_offset=0x12345)
+        space = AddressSpace(scheme=ExtendedOrbitScheme(2, offset=0x12345), index=1)
         assert space.translate(0x1000) == (0x1000 + PARTITION_BIT + 0x12345) & 0xFFFFFFFF
 
     def test_overlapping_regions_rejected(self):
@@ -108,7 +111,7 @@ class TestAddressSpacePartitioning:
             space.map_region(MemoryRegion("b", 0x1020, 64))
 
     def test_unmapped_address_faults(self):
-        space = AddressSpace(partition=0)
+        space = AddressSpace(scheme=HighBitScheme(), index=0)
         with pytest.raises(SegmentationFault):
             space.load_word(0x5000)
 
