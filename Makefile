@@ -3,14 +3,20 @@
 #   make test             -- the tier-1 verification suite (tests/ only; slow-marked
 #                            suites are deselected via pytest.ini)
 #   make check            -- tier-1 tests + CLI scenario smoke + experiments smoke
-#                            (CI gate)
+#                            + benchmark trajectory gate (CI gate)
 #   make check-parallel   -- tier-1 + the slow parity/stress suites + a smoke run
 #                            of the campaign-throughput benchmark
+#   make check-procs      -- the multi-process tier: procpool unit tests plus the
+#                            slow cross-backend (virtual vs process) parity sweep
+#   make check-bench      -- smoke-regenerate benchmarks/results/, then diff
+#                            against the baseline with claim flips fatal
 #   make experiments-smoke -- every registered experiment at its smallest spec,
 #                            via the CLI (claims gate the exit code)
 #   make bench            -- every benchmark, with timing; each writes
 #                            benchmarks/results/BENCH_<name>.json
-#   make bench-smoke      -- every benchmark once, no timing (fast CI exercise)
+#   make bench-smoke      -- every benchmark once, no timing (fast CI exercise;
+#                            the procpool bench runs its tiny smoke matrix)
+#   make bench-procpool-smoke -- just the process-tier benchmark's smoke matrix
 #   make bench-diff       -- per-metric deltas of benchmarks/results/ against
 #                            the committed benchmarks/baseline/ snapshot
 #   make examples         -- run each example script end to end
@@ -22,19 +28,21 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.py))
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test check check-parallel experiments-smoke bench bench-smoke bench-diff examples
+.PHONY: test check check-parallel check-procs check-bench experiments-smoke \
+	bench bench-smoke bench-procpool-smoke bench-diff examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test experiments-smoke
+check: test experiments-smoke check-bench
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/campaign.json --backend process --workers 2 > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/table3.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/ablations.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/address_orbit.json > /dev/null
-	@echo "check ok: tier-1 tests + experiments smoke + CLI scenario smoke"
+	@echo "check ok: tier-1 tests + experiments smoke + bench gate + CLI scenario smoke"
 
 # Every registered experiment at its smallest meaningful parameters, through
 # the same CLI path users take; a failed claim fails the target, and so does
@@ -55,14 +63,35 @@ check-parallel: test
 	$(PYTHON) -m pytest benchmarks/bench_campaign_throughput.py -q --benchmark-disable
 	@echo "check-parallel ok: tier-1 + parity/stress suites + campaign bench smoke"
 
+# The multi-process tier gate: the procpool unit suite (real forked workers),
+# the slow cross-backend parity sweep (virtual vs process at 1/2/4 workers),
+# and the wall-clock benchmark's smoke matrix.
+check-procs:
+	$(PYTHON) -m pytest -q tests/test_procpool.py
+	$(PYTHON) -m pytest -q -m slow tests/test_campaign_parallel.py
+	BENCH_PROCPOOL_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
+	@echo "check-procs ok: procpool unit suite + cross-backend parity + bench smoke"
+
+# The benchmark trajectory gate: regenerate results/ in smoke mode (virtual-time
+# payloads are deterministic, so a clean tree reproduces the committed files),
+# then diff against the committed baseline with non-numeric flips fatal.  The
+# small --rtol absorbs float-formatting jitter without hiding real moves.
+check-bench: bench-smoke
+	$(PYTHON) benchmarks/bench_diff.py --fail-on-flip --rtol 0.001
+	@echo "check-bench ok: benchmark trajectory matches the committed baseline"
+
 bench:
 	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-only -s
 
 # --benchmark-disable runs every benchmarked function exactly once as a plain
 # test, so CI exercises each benchmark's assertions without paying for timing
-# rounds.
+# rounds.  BENCH_PROCPOOL_SMOKE shrinks the wall-clock benchmark to its tiny
+# matrix and keeps it from overwriting its committed (full-run) results file.
 bench-smoke:
-	$(PYTHON) -m pytest $(BENCHES) -q --benchmark-disable
+	BENCH_PROCPOOL_SMOKE=1 $(PYTHON) -m pytest $(BENCHES) -q --benchmark-disable
+
+bench-procpool-smoke:
+	BENCH_PROCPOOL_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
 
 # Cross-PR benchmark trajectory: compare the current results/ files against
 # the committed baseline/ snapshot and print per-metric deltas.

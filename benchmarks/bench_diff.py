@@ -24,11 +24,17 @@ did change shape) but noisy; the workflow for an intentional shape change
 is to refresh ``benchmarks/baseline/`` in the same commit, after which the
 diff is clean again and only real regressions move.
 
+Two noise controls keep the trajectory about the reproduction rather than
+the host that happened to run it: metrics whose final dotted-path component
+starts with ``wall_`` (wall-clock timings, host core counts, their derived
+speedups) are excluded from the diff entirely, and ``--rtol`` suppresses
+numeric deltas whose relative change is within the given tolerance.
+
 Usage::
 
     python benchmarks/bench_diff.py
     python benchmarks/bench_diff.py --baseline benchmarks/baseline --results benchmarks/results
-    python benchmarks/bench_diff.py --fail-on-flip
+    python benchmarks/bench_diff.py --fail-on-flip --rtol 0.05
 """
 
 from __future__ import annotations
@@ -72,6 +78,18 @@ def is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def is_wall_clock(metric: str) -> bool:
+    """True for host-noise metrics excluded from the tracked trajectory.
+
+    By convention benchmarks prefix every wall-clock-derived key with
+    ``wall_`` (``wall_seconds``, ``wall_speedup``, ``wall_host_cpus``);
+    their values depend on the machine and its load, so diffing them across
+    PRs reports weather, not regressions.
+    """
+    leaf = metric.rsplit(".", 1)[-1]
+    return leaf.startswith("wall_")
+
+
 def is_claim(metric: str) -> bool:
     """True for the schema-stable claim booleans of an experiment report.
 
@@ -83,12 +101,19 @@ def is_claim(metric: str) -> bool:
 
 
 def diff_benchmark(
-    baseline: dict[str, Any], current: dict[str, Any]
+    baseline: dict[str, Any], current: dict[str, Any], *, rtol: float = 0.0
 ) -> tuple[list[str], int]:
-    """Render one benchmark's changed metrics; returns (lines, flips)."""
+    """Render one benchmark's changed metrics; returns (lines, flips).
+
+    *rtol* suppresses numeric deltas whose relative change (against the
+    baseline value; absolute change when the baseline is zero) stays within
+    the tolerance -- measurement jitter, not trajectory.
+    """
     lines: list[str] = []
     flips = 0
     for metric in sorted(set(baseline) | set(current)):
+        if is_wall_clock(metric):
+            continue
         before = baseline.get(metric)
         after = current.get(metric)
         if metric not in baseline:
@@ -115,11 +140,15 @@ def diff_benchmark(
         if is_number(before) and is_number(after):
             delta = after - before
             if before:
+                if abs(delta / before) <= rtol:
+                    continue
                 lines.append(
                     f"    {metric}: {before:g} -> {after:g} "
                     f"({delta:+g}, {delta / before * 100.0:+.1f}%)"
                 )
             else:
+                if abs(delta) <= rtol:
+                    continue
                 lines.append(f"    {metric}: {before:g} -> {after:g} ({delta:+g})")
             continue
         flips += 1
@@ -136,7 +165,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when any non-numeric metric (e.g. a claim boolean) changed",
     )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=0.0,
+        help="suppress numeric deltas within this relative tolerance "
+        "(e.g. 0.05 ignores moves under 5%%)",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.rtol < 0:
+        parser.error("--rtol must be >= 0")
 
     for label, directory in (("results", arguments.results), ("baseline", arguments.baseline)):
         if not directory.is_dir():
@@ -164,7 +202,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{title}: present in baseline only (run `make bench` to regenerate)")
             continue
         lines, flips = diff_benchmark(
-            load_metrics(baseline_files[name]), load_metrics(result_files[name])
+            load_metrics(baseline_files[name]),
+            load_metrics(result_files[name]),
+            rtol=arguments.rtol,
         )
         total_flips += flips
         if lines:

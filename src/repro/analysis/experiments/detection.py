@@ -144,6 +144,7 @@ class DetectionMatrixResult:
         if execution is not None:
             telemetry.update(
                 {
+                    "campaign_backend": execution.backend,
                     "campaign_parallelism": execution.parallelism,
                     "campaign_cells": len(execution.jobs),
                     "campaign_virtual_elapsed": execution.virtual_elapsed,
@@ -159,20 +160,28 @@ class DetectionMatrixResult:
         )
 
 
-def run(*, parallelism: int = 1) -> DetectionMatrixResult:
+def run(
+    *, parallelism: int = 1, backend: str = "virtual", workers: int = 0
+) -> DetectionMatrixResult:
     """Run the full detection matrix.
 
-    ``parallelism`` is forwarded to :func:`~repro.api.campaign.run_campaign`:
-    the matrix's cells are independent, so any worker count produces the same
-    matrix, only faster in engine virtual time.
+    ``parallelism`` (and the uniform ``workers`` spelling, which wins when
+    non-zero) and ``backend`` are forwarded to
+    :func:`~repro.api.campaign.run_campaign`: the matrix's cells are
+    independent, so any worker count on either backend produces the same
+    matrix -- only faster, in engine virtual time (``"virtual"``) or in real
+    wall-clock time on OS worker processes (``"process"``).
     """
     from repro.attacks.memory_attacks import standard_address_attacks
     from repro.attacks.uid_attacks import standard_uid_attacks
 
+    effective_workers = workers if workers else None
     uid_report = run_campaign(
         (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC, UID_ORBIT_3_SPEC, COMBINED_ORBIT_3_SPEC),
         standard_uid_attacks(),
         parallelism=parallelism,
+        backend=backend,
+        workers=effective_workers,
     )
     address_report = run_campaign(
         (
@@ -183,6 +192,8 @@ def run(*, parallelism: int = 1) -> DetectionMatrixResult:
         ),
         standard_address_attacks(),
         parallelism=parallelism,
+        backend=backend,
+        workers=effective_workers,
     )
     code_outcomes = [run_code_injection_untagged(), run_code_injection_tagged()]
     return DetectionMatrixResult(
@@ -192,6 +203,8 @@ def run(*, parallelism: int = 1) -> DetectionMatrixResult:
     )
 
 
-def experiment(*, parallelism: int = 1) -> ExperimentReport:
+def experiment(
+    *, parallelism: int = 1, backend: str = "virtual", workers: int = 0
+) -> ExperimentReport:
     """Registry entry point: run the matrix, return the shared report."""
-    return run(parallelism=parallelism).to_report()
+    return run(parallelism=parallelism, backend=backend, workers=workers).to_report()

@@ -34,6 +34,7 @@ from repro.engine.campaign import (
     CampaignJob,
     run_jobs,
 )
+from repro.engine.procpool import ProcessJob, ProcessWorkerPool, run_process_jobs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the import cycle
     from repro.attacks.memory_attacks import AddressInjectionAttack
@@ -128,6 +129,94 @@ def run_attack(attack: "Attack", spec: SystemSpec) -> "AttackOutcome":
     return prepare_attack(attack, spec).run()
 
 
+# ---------------------------------------------------------------------------
+# The process backend: cells serialized as scenario payloads
+# ---------------------------------------------------------------------------
+
+#: Campaign execution backends `run_campaign` accepts.
+CAMPAIGN_BACKENDS = ("virtual", "process")
+
+#: The runner reference process workers resolve to rebuild and run one cell.
+CELL_RUNNER = "repro.api.campaign:run_cell_payload"
+
+
+def run_cell_payload(payload) -> dict:
+    """Rebuild one attack-x-spec cell from its payload and run it (worker side).
+
+    Live sessions hold kernels and generators, so what crosses the process
+    boundary is the same declarative data a scenario file holds: the attack's
+    library name plus the :class:`~repro.api.spec.SystemSpec` dict.  The cell
+    is then prepared exactly the way the virtual backend prepares it in
+    process, which is what makes the two backends byte-identical per cell.
+
+    ``service_delay_ms``, when present, adds a real blocking wait after the
+    cell -- the per-cell network/disk service time an in-process simulation
+    elides.  The wall-clock benchmark uses it to measure the worker fleet's
+    blocking-overlap win independently of how many cores the host has; it
+    never changes the cell's outcome or virtual-time accounting.
+    """
+    import time
+
+    attack_name = payload["attack"]
+    known = attacks_by_name()
+    if attack_name not in known:
+        raise ValueError(
+            f"unknown attack {attack_name!r} in cell payload; known attacks: "
+            f"{', '.join(sorted(known))}"
+        )
+    spec = SystemSpec.from_dict(payload["spec"])
+    cell = prepare_attack(known[attack_name], spec)
+    session = cell.start()
+    while not session.done:
+        session.step()
+    value = cell.finish(session)
+    delay_ms = payload.get("service_delay_ms", 0)
+    if delay_ms:
+        time.sleep(delay_ms / 1000.0)
+    return {
+        "state": session.state.value,
+        "rounds": session.rounds,
+        "virtual_elapsed": session.virtual_elapsed,
+        "value": value,
+    }
+
+
+def process_campaign_jobs(
+    specs: Sequence[SystemSpec],
+    attacks: Optional[Iterable["Attack"]] = None,
+    *,
+    service_delay_ms: int = 0,
+) -> list[ProcessJob]:
+    """Expand the attacks-x-specs cross product into process-tier jobs.
+
+    The process backend ships cells by *name*: a worker looks the attack up
+    in the standard library and rebuilds the cell from the spec dict, so an
+    attack object that is not (or no longer matches) its registered namesake
+    cannot cross the boundary -- that is rejected here, loudly, instead of
+    silently running a different attack in the worker.
+    """
+    selected = list(attacks) if attacks is not None else standard_attacks()
+    known = attacks_by_name()
+    jobs = []
+    for attack in selected:
+        if known.get(attack.name) != attack:
+            raise ValueError(
+                f"attack {attack.name!r} is not a standard library attack; the "
+                "process backend serializes cells by attack name, so custom "
+                "attack objects must run on the virtual backend"
+            )
+        for spec in specs:
+            payload: dict = {"attack": attack.name, "spec": spec.to_dict()}
+            if service_delay_ms:
+                payload["service_delay_ms"] = service_delay_ms
+            jobs.append(
+                ProcessJob(
+                    name=f"{attack.name}@{spec.name}", runner=CELL_RUNNER, payload=payload
+                )
+            )
+    return jobs
+
+
 def run_campaign(
     specs: Sequence[SystemSpec] = STANDARD_SYSTEM_SPECS,
     attacks: Optional[Iterable["Attack"]] = None,
@@ -135,6 +224,9 @@ def run_campaign(
     parallelism: int = 1,
     rounds_per_turn: int = 8,
     halt: Union[CampaignHaltPolicy, str] = CampaignHaltPolicy.PER_CELL,
+    backend: str = "virtual",
+    workers: Optional[int] = None,
+    pool: Optional[ProcessWorkerPool] = None,
 ) -> CampaignReport:
     """Run every attack against every system spec and collect the outcomes.
 
@@ -143,29 +235,58 @@ def run_campaign(
     registered variation stack -- this is the generic cross product the
     detection-matrix experiment, the examples and the CLI all share.
 
-    Every cell runs as a resumable session under the engine's campaign
-    scheduler.  ``parallelism`` bounds how many cells are interleaved at once
-    (1 = the historical serial order, which every other value reproduces
-    cell-for-cell since cells share no state); ``rounds_per_turn`` batches
-    that many lockstep rounds per scheduling turn; ``halt`` chooses what one
-    cell's halt means for the rest of the campaign
-    (:class:`~repro.engine.campaign.CampaignHaltPolicy`).  Outcomes are always
-    reported in submission order (attacks outer, specs inner), regardless of
-    completion order.
+    Two backends execute the same cross product and report outcomes in the
+    same submission order (attacks outer, specs inner), regardless of
+    completion order:
+
+    * ``backend="virtual"`` (the default): every cell runs as a resumable
+      session interleaved by the in-process
+      :class:`~repro.engine.campaign.CampaignScheduler`, with concurrency
+      accounted in kernel ticks.  ``rounds_per_turn`` batches that many
+      lockstep rounds per scheduling turn.
+    * ``backend="process"``: cells are serialized as scenario payloads and
+      sharded across pre-forked OS worker processes
+      (:mod:`repro.engine.procpool`), so the concurrency is physical
+      wall-clock parallelism.  Pass ``pool`` to reuse a started
+      :class:`~repro.engine.procpool.ProcessWorkerPool` across campaigns.
+
+    ``workers`` is the uniform worker-count knob for both backends and
+    defaults to ``parallelism`` (kept as the historical spelling; 1 = the
+    serial order every other count reproduces cell-for-cell, since cells
+    share no state).  ``halt`` chooses what one cell's halt means for the
+    rest of the campaign
+    (:class:`~repro.engine.campaign.CampaignHaltPolicy`).
     """
+    if backend not in CAMPAIGN_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(CAMPAIGN_BACKENDS)}, got {backend!r}"
+        )
     selected = list(attacks) if attacks is not None else standard_attacks()
     halt_policy = halt if isinstance(halt, CampaignHaltPolicy) else CampaignHaltPolicy(halt)
-    jobs = []
-    for attack in selected:
-        for spec in specs:
-            cell = prepare_attack(attack, spec)
-            jobs.append(CampaignJob(name=cell.name, start=cell.start, finish=cell.finish))
-    execution = run_jobs(
-        jobs,
-        parallelism=parallelism,
-        rounds_per_turn=rounds_per_turn,
-        halt_policy=halt_policy,
-    )
+    effective_workers = workers if workers is not None else parallelism
+    if effective_workers < 1:
+        raise ValueError(f"workers must be >= 1, got {effective_workers}")
+
+    if backend == "process":
+        execution = run_process_jobs(
+            process_campaign_jobs(specs, selected),
+            workers=effective_workers,
+            halt_policy=halt_policy,
+            rounds_per_turn=rounds_per_turn,
+            pool=pool,
+        )
+    else:
+        jobs = []
+        for attack in selected:
+            for spec in specs:
+                cell = prepare_attack(attack, spec)
+                jobs.append(CampaignJob(name=cell.name, start=cell.start, finish=cell.finish))
+        execution = run_jobs(
+            jobs,
+            parallelism=effective_workers,
+            rounds_per_turn=rounds_per_turn,
+            halt_policy=halt_policy,
+        )
     return CampaignReport(
         outcomes=[job.value for job in execution.jobs if job.value is not None],
         execution=execution,

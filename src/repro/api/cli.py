@@ -8,7 +8,9 @@ A scenario file is data, not code::
       "attacks": ["full-word-root-overwrite"],   // default: every standard attack
       "parallelism": 8,                          // engine worker count
       "rounds_per_turn": 8,                      // lockstep rounds per turn
-      "halt": "per-cell"                         // or "halt-campaign"
+      "halt": "per-cell",                        // or "halt-campaign"
+      "backend": "process",                      // or "virtual" (the default)
+      "workers": 4                               // worker count on either backend
     }
 
     {
@@ -42,11 +44,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.api.campaign import CampaignReport, attacks_by_name, run_campaign
+from repro.api.campaign import (
+    CAMPAIGN_BACKENDS,
+    CampaignReport,
+    attacks_by_name,
+    run_campaign,
+)
 from repro.api.experiments import ExperimentRegistryError, experiments
 from repro.api.registry import VariationRegistryError, registry
 from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
@@ -131,6 +139,20 @@ def _resolve_positive_int(data: Mapping[str, Any], key: str, default: int) -> in
     return value
 
 
+def _resolve_backend(data: Mapping[str, Any]) -> str:
+    backend = data.get("backend", "virtual")
+    if backend not in CAMPAIGN_BACKENDS:
+        raise ScenarioError(
+            f"backend must be one of {', '.join(CAMPAIGN_BACKENDS)}, got {backend!r}"
+        )
+    return backend
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    """NaN (an unmeasured metric) has no JSON spelling; emit null instead."""
+    return value if isinstance(value, (int, float)) and math.isfinite(value) else None
+
+
 # ---------------------------------------------------------------------------
 # Scenario kinds
 # ---------------------------------------------------------------------------
@@ -174,8 +196,8 @@ def _run_throughput(data: Mapping[str, Any], output: str) -> tuple[int, str]:
             "alarms": measurement.alarms,
             "virtual_elapsed": measurement.virtual_elapsed,
             "virtual_elapsed_sequential": measurement.virtual_elapsed_sequential,
-            "requests_per_kilotick": measurement.requests_per_kilotick(),
-            "speedup": measurement.speedup(),
+            "requests_per_kilotick": _finite_or_none(measurement.requests_per_kilotick()),
+            "speedup": _finite_or_none(measurement.speedup()),
         }
         return 0, json.dumps(payload, indent=2)
     lines = [
@@ -212,12 +234,18 @@ def _run_campaign_scenario(
             f"halt must be one of {', '.join(p.value for p in CampaignHaltPolicy)}, "
             f"got {halt!r}"
         ) from None
+    backend = _resolve_backend(data) if with_execution else "virtual"
+    workers = (
+        _resolve_positive_int(data, "workers", 0) if data.get("workers") is not None else None
+    )
     report = run_campaign(
         specs,
         attacks,
         parallelism=_resolve_positive_int(data, "parallelism", 1),
         rounds_per_turn=rounds_per_turn,
         halt=halt_policy,
+        backend=backend,
+        workers=workers,
     )
     execution = report.execution
     if output == "json":
@@ -235,6 +263,7 @@ def _run_campaign_scenario(
         }
         if with_execution:
             payload["execution"] = {
+                "backend": execution.backend,
                 "parallelism": execution.parallelism,
                 "rounds_per_turn": execution.rounds_per_turn,
                 "jobs": len(execution.jobs),
@@ -243,8 +272,9 @@ def _run_campaign_scenario(
                 "scheduler_turns": execution.scheduler_turns,
                 "virtual_elapsed": execution.virtual_elapsed,
                 "virtual_elapsed_sequential": execution.virtual_elapsed_sequential,
-                "speedup": execution.speedup(),
+                "speedup": _finite_or_none(execution.speedup()),
                 "max_wait_turns": execution.max_wait_turns,
+                "steals": execution.steals,
             }
         return 0, json.dumps(payload, indent=2)
     lines = [_format_matrix_text(report, specs)]
@@ -252,7 +282,8 @@ def _run_campaign_scenario(
         lines.extend(
             [
                 "",
-                f"execution: {len(execution.jobs)} cells on {execution.parallelism} workers "
+                f"execution: {len(execution.jobs)} cells on {execution.parallelism} "
+                f"{execution.backend} workers "
                 f"({execution.rounds_per_turn} rounds/turn, {execution.scheduler_turns} turns)",
                 f"virtual elapsed: {execution.virtual_elapsed} ticks concurrent, "
                 f"{execution.virtual_elapsed_sequential} sequential "
@@ -307,7 +338,9 @@ SCENARIO_RUNNERS = {
     "throughput": (_run_throughput, frozenset({"fleet"}), OUTPUT_FORMATS),
     "campaign": (
         lambda data, output: _run_campaign_scenario(data, output, kind="campaign"),
-        frozenset({"systems", "attacks", "parallelism", "rounds_per_turn", "halt"}),
+        frozenset(
+            {"systems", "attacks", "parallelism", "rounds_per_turn", "halt", "backend", "workers"}
+        ),
         OUTPUT_FORMATS,
     ),
     "experiment": (
@@ -325,6 +358,8 @@ def run_scenario(
     *,
     output: Optional[str] = None,
     parallelism: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> tuple[int, str]:
     """Execute one loaded scenario; returns ``(exit_code, rendered output)``."""
     kind = data["scenario"]
@@ -342,10 +377,15 @@ def run_scenario(
             f"unknown {kind} scenario keys: {', '.join(unknown)}; expected a subset of "
             f"{', '.join(sorted(allowed))}"
         )
-    if parallelism is not None:
-        if "parallelism" not in kind_keys:
-            raise ScenarioError(f"{kind} scenarios do not accept --parallelism")
-        data = {**data, "parallelism": parallelism}
+    for key, override in (
+        ("parallelism", parallelism),
+        ("backend", backend),
+        ("workers", workers),
+    ):
+        if override is not None:
+            if key not in kind_keys:
+                raise ScenarioError(f"{kind} scenarios do not accept --{key}")
+            data = {**data, key: override}
     resolved_output = _resolve_output(data, output, output_formats)
     return runner(data, resolved_output)
 
@@ -396,6 +436,12 @@ def _parse_set_params(assignments: Sequence[str]) -> dict[str, Any]:
 
 def _command_experiment(arguments) -> int:
     params = _parse_set_params(arguments.set or [])
+    # --backend/--workers are flag sugar over --set; experiments that do not
+    # declare those parameters reject them with the registry's typed error.
+    if getattr(arguments, "backend", None) is not None:
+        params.setdefault("backend", arguments.backend)
+    if getattr(arguments, "workers", None) is not None:
+        params.setdefault("workers", arguments.workers)
     try:
         if arguments.smoke:
             spec = experiments.smoke_spec(arguments.name)
@@ -449,6 +495,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="N",
         help="override the campaign worker count (campaign/detection-matrix scenarios)",
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=CAMPAIGN_BACKENDS,
+        default=None,
+        help="override the campaign execution backend (campaign scenarios): "
+        "virtual = in-process scheduler, process = OS worker processes",
+    )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help="override the campaign worker count on either backend (campaign scenarios)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one registered experiment"
@@ -476,6 +536,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run at the experiment's smallest meaningful parameters",
     )
+    experiment_parser.add_argument(
+        "--backend",
+        choices=CAMPAIGN_BACKENDS,
+        default=None,
+        help="shorthand for --set backend=... (experiments that run campaigns)",
+    )
+    experiment_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shorthand for --set workers=... (experiments that run campaigns)",
+    )
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="list registered experiments"
@@ -499,7 +572,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_experiment(arguments)
         data = load_scenario(arguments.scenario)
         exit_code, rendered = run_scenario(
-            data, output=arguments.output, parallelism=arguments.parallelism
+            data,
+            output=arguments.output,
+            parallelism=arguments.parallelism,
+            backend=arguments.backend,
+            workers=arguments.workers,
         )
     except (ScenarioError, VariationRegistryError, ExperimentRegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -482,6 +482,12 @@ experiments.register(
     description="The full detection matrix and the paper's security claims",
     parameters=(
         ExperimentParameter("parallelism", int, 1, "campaign scheduler worker count"),
+        ExperimentParameter(
+            "backend", str, "virtual", "campaign execution tier: virtual or process"
+        ),
+        ExperimentParameter(
+            "workers", int, 0, "uniform worker-count knob (0 = use parallelism)"
+        ),
     ),
     smoke_params={"parallelism": 8},
 )

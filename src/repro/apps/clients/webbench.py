@@ -160,9 +160,15 @@ class WorkloadMeasurement:
         return self.requests_completed == self.requests_sent and self.alarms == 0
 
     def per_request_syscalls(self) -> float:
-        """Average system calls (summed over variants) per completed request."""
+        """Average system calls (summed over variants) per completed request.
+
+        With no completed requests there is no average to take, so the result
+        is ``nan`` (not measured) rather than ``0.0`` (measured: zero calls
+        per request) -- the two mean different things to every consumer that
+        compares or thresholds this figure.
+        """
         if not self.requests_completed:
-            return 0.0
+            return float("nan")
         return self.syscalls_total / self.requests_completed
 
 
@@ -373,21 +379,36 @@ class EngineWorkloadMeasurement:
         return self.requests_completed == self.requests_sent and self.alarms == 0
 
     def requests_per_kilotick(self) -> float:
-        """Aggregate throughput in requests per 1000 virtual clock ticks."""
+        """Aggregate throughput in requests per 1000 virtual clock ticks.
+
+        ``nan`` when no virtual time elapsed: an empty run measured nothing,
+        which is different from measuring a throughput of zero.
+        """
         if not self.virtual_elapsed:
-            return 0.0
+            return float("nan")
         return self.requests_completed * 1000.0 / self.virtual_elapsed
 
     def sequential_requests_per_kilotick(self) -> float:
-        """What the same workload sustains run back-to-back on one replica."""
+        """What the same workload sustains run back-to-back on one replica.
+
+        ``nan`` when the sequential reference elapsed no virtual time (see
+        :meth:`requests_per_kilotick`).
+        """
         if not self.virtual_elapsed_sequential:
-            return 0.0
+            return float("nan")
         return self.requests_completed * 1000.0 / self.virtual_elapsed_sequential
 
     def speedup(self) -> float:
-        """Concurrent over sequential aggregate throughput."""
+        """Concurrent over sequential aggregate throughput.
+
+        ``nan`` when either side is unmeasured -- propagating the sentinel is
+        what lets consumers distinguish "no measurement" from a genuine 0.0x.
+        """
         sequential = self.sequential_requests_per_kilotick()
-        return self.requests_per_kilotick() / sequential if sequential else 0.0
+        concurrent = self.requests_per_kilotick()
+        if sequential != sequential or concurrent != concurrent or not sequential:
+            return float("nan")
+        return concurrent / sequential
 
 
 def drive_engine(

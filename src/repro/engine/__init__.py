@@ -25,8 +25,11 @@ On top of the interleaving engine,
 :class:`~repro.engine.campaign.CampaignScheduler` runs *campaigns*: large
 batches of independent jobs (one attack x configuration cell each) admitted
 lazily through a bounded worker pool with batched lockstep rounds per
-scheduling turn.  It is the execution path behind
-:func:`repro.api.campaign.run_campaign`.
+scheduling turn.  It is the virtual-time execution path behind
+:func:`repro.api.campaign.run_campaign`; the multi-process master/worker
+tier in :mod:`repro.engine.procpool` is the wall-clock one
+(``run_campaign(..., backend="process")``), producing the same
+submission-order :class:`~repro.engine.campaign.CampaignExecutionResult`.
 """
 
 from repro.engine.campaign import (
@@ -36,6 +39,13 @@ from repro.engine.campaign import (
     CampaignScheduler,
     ScheduledJobResult,
     run_jobs,
+)
+from repro.engine.procpool import (
+    ProcessCampaignExecutor,
+    ProcessJob,
+    ProcessWorkerPool,
+    WorkerError,
+    run_process_jobs,
 )
 from repro.engine.scheduler import (
     EngineResult,
@@ -55,9 +65,14 @@ __all__ = [
     "HaltPolicy",
     "MultiSessionEngine",
     "NVariantSession",
+    "ProcessCampaignExecutor",
+    "ProcessJob",
+    "ProcessWorkerPool",
     "ScheduledJobResult",
     "ScheduledSessionResult",
     "SessionState",
+    "WorkerError",
     "run_jobs",
+    "run_process_jobs",
     "run_sessions",
 ]

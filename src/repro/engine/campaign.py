@@ -78,7 +78,14 @@ class ScheduledJobResult:
 
 @dataclasses.dataclass
 class CampaignExecutionResult:
-    """Per-job results plus the scheduler's aggregate accounting."""
+    """Per-job results plus the scheduler's aggregate accounting.
+
+    The type is backend-agnostic: the cooperative virtual-time scheduler in
+    this module and the multi-process tier in :mod:`repro.engine.procpool`
+    both produce it, distinguished only by :attr:`backend` (and the process
+    tier's :attr:`steals` counter).  ``virtual_elapsed`` stays metered in
+    kernel ticks either way; wall-clock time is the caller's business.
+    """
 
     jobs: list[ScheduledJobResult]
     scheduler_turns: int
@@ -91,6 +98,10 @@ class CampaignExecutionResult:
     max_wait_turns: int
     #: Peak number of simultaneously live sessions (<= parallelism).
     max_live_sessions: int
+    #: Which execution tier produced this result ("virtual" or "process").
+    backend: str = "virtual"
+    #: Process tier only: jobs a worker took from another slot's run queue.
+    steals: int = 0
 
     def values(self) -> list[Any]:
         """Every job's finalized value, in submission order."""
@@ -122,9 +133,14 @@ class CampaignExecutionResult:
         return sum(job.virtual_elapsed for job in self.jobs)
 
     def speedup(self) -> float:
-        """Sequential over concurrent elapsed time (the worker-pool win)."""
+        """Sequential over concurrent elapsed time (the worker-pool win).
+
+        An empty campaign has no measurement to form a ratio from, so the
+        result is ``nan`` -- never ``0.0``, which would read as "measured,
+        and infinitely slow".
+        """
         if not self.virtual_elapsed:
-            return 0.0
+            return float("nan")
         return self.virtual_elapsed_sequential / self.virtual_elapsed
 
     def describe(self) -> str:

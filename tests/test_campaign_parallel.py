@@ -10,6 +10,7 @@ fixed matrix; the hypothesis property test (marked ``slow``, run by
 
 import dataclasses
 import json
+import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -124,6 +125,121 @@ class TestSerialParityProperty:
             )
 
 
+class TestBackendEdgeCases:
+    """Scheduler edge cases every backend must honor identically.
+
+    Each case runs against both the virtual-time scheduler and the
+    multi-process tier: the backends may differ in how work reaches a
+    worker, never in what the campaign reports.
+    """
+
+    ATTACKS = staticmethod(
+        lambda: [
+            next(a for a in standard_uid_attacks() if a.name == "low-bit-flip"),
+            next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"),
+        ]
+    )
+
+    @pytest.mark.parametrize("backend", ["virtual", "process"])
+    def test_more_workers_than_jobs(self, backend):
+        """Requested parallelism survives into the accounting; spare slots idle."""
+        attacks = self.ATTACKS()[:1]
+        specs = (UID_DIVERSITY_SPEC, SINGLE_PROCESS_SPEC)
+        expected = _serial_outcomes(specs, attacks)
+        report = run_campaign(specs, attacks, backend=backend, workers=8)
+        assert _outcome_bytes(report.outcomes) == _outcome_bytes(expected)
+        execution = report.execution
+        assert execution.parallelism == 8
+        assert len(execution.worker_elapsed) == 8
+        assert len(execution.completed_jobs) == len(expected)
+
+    @pytest.mark.parametrize("backend", ["virtual", "process"])
+    def test_empty_job_list(self, backend):
+        """An empty cross product completes without forking or scheduling."""
+        report = run_campaign((), self.ATTACKS(), backend=backend, workers=4)
+        assert report.outcomes == []
+        execution = report.execution
+        assert execution.jobs == []
+        assert execution.backend == backend
+        assert execution.virtual_elapsed == 0
+        assert math.isnan(execution.speedup())
+
+    @pytest.mark.parametrize("backend", ["virtual", "process"])
+    def test_rounds_per_turn_exceeding_session_length(self, backend):
+        """A turn batch far beyond any session's lifetime changes nothing."""
+        attacks = self.ATTACKS()
+        specs = (UID_DIVERSITY_SPEC,)
+        expected = _serial_outcomes(specs, attacks)
+        report = run_campaign(
+            specs, attacks, backend=backend, workers=2, rounds_per_turn=100_000
+        )
+        assert _outcome_bytes(report.outcomes) == _outcome_bytes(expected)
+
+    @pytest.mark.parametrize("backend", ["virtual", "process"])
+    def test_halt_campaign_truncation_ordering(self, backend):
+        """At one worker, HALT_CAMPAIGN semantics are fully deterministic.
+
+        The first cell is detected (halts), so every later cell must be
+        skipped -- never truncated, never finalized -- in submission order,
+        on both backends.
+        """
+        detected = next(
+            a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"
+        )
+        benign = next(a for a in standard_uid_attacks() if a.name == "low-bit-flip")
+        specs = (UID_DIVERSITY_SPEC,)
+        report = run_campaign(
+            specs,
+            [detected, benign, benign],
+            backend=backend,
+            workers=1,
+            halt="halt-campaign",
+        )
+        execution = report.execution
+        assert [job.skipped for job in execution.jobs] == [False, True, True]
+        assert execution.jobs[0].value.kind is OutcomeKind.DETECTED
+        assert all(job.value is None for job in execution.skipped_jobs)
+        assert execution.truncated_jobs == []
+
+
+@pytest.mark.slow
+class TestCrossBackendParity:
+    """The process tier reproduces the virtual tier byte-for-byte.
+
+    Run by ``make check-procs``: the full worker-count x backend sweep is
+    too slow for the default suite (each process cell forks real workers).
+    """
+
+    @pytest.mark.parametrize("backend", ["virtual", "process"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_standard_matrix_parity(self, backend, workers):
+        attacks = [
+            next(a for a in standard_uid_attacks() if a.name == "full-word-root-overwrite"),
+            next(a for a in standard_uid_attacks() if a.name == "high-bit-flip"),
+            standard_address_attacks()[0],
+        ]
+        specs = (SINGLE_PROCESS_SPEC, UID_DIVERSITY_SPEC, UID_ORBIT_3_SPEC)
+        expected = _serial_outcomes(specs, attacks)
+        report = run_campaign(specs, attacks, backend=backend, workers=workers)
+        assert _outcome_bytes(report.outcomes) == _outcome_bytes(expected), (
+            backend,
+            workers,
+        )
+        assert report.execution.backend == backend
+        assert report.execution.parallelism == workers
+
+    def test_detection_experiment_backend_parity(self):
+        """The full detection matrix agrees across backends."""
+        from repro.analysis.experiments import detection
+
+        virtual = detection.run(parallelism=4)
+        process = detection.run(parallelism=4, backend="process")
+        assert virtual.claim_results() == process.claim_results()
+        assert process.all_claims_hold
+        assert virtual.uid_report.matrix() == process.uid_report.matrix()
+        assert virtual.address_report.matrix() == process.address_report.matrix()
+
+
 class TestCampaignScheduler:
     """Scheduler mechanics independent of the attack library."""
 
@@ -140,7 +256,9 @@ class TestCampaignScheduler:
     def test_empty_campaign(self):
         result = CampaignScheduler([]).run()
         assert result.jobs == [] and result.scheduler_turns == 0
-        assert result.virtual_elapsed == 0 and result.speedup() == 0.0
+        # No jobs means nothing was measured: the speedup is nan (unmeasured),
+        # not 0.0 (measured, infinitely slow).
+        assert result.virtual_elapsed == 0 and math.isnan(result.speedup())
 
     def test_validation_errors(self):
         with pytest.raises(ValueError):
