@@ -10,6 +10,8 @@
 #                            slow cross-backend (virtual vs process) parity sweep
 #   make check-bench      -- smoke-regenerate benchmarks/results/, then diff
 #                            against the baseline with claim flips fatal
+#   make check-keyed      -- the keyed-scheme/attacker-model tier: both unit
+#                            suites plus an entropy-experiment smoke via the CLI
 #   make experiments-smoke -- every registered experiment at its smallest spec,
 #                            via the CLI (claims gate the exit code)
 #   make bench            -- every benchmark, with timing; each writes
@@ -28,13 +30,13 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.py))
 EXAMPLES := $(wildcard examples/*.py)
 
-.PHONY: test check check-parallel check-procs check-bench experiments-smoke \
-	bench bench-smoke bench-procpool-smoke bench-diff examples
+.PHONY: test check check-parallel check-procs check-bench check-keyed \
+	experiments-smoke bench bench-smoke bench-procpool-smoke bench-diff examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test experiments-smoke check-bench
+check: test experiments-smoke check-keyed check-bench
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
@@ -71,6 +73,14 @@ check-procs:
 	$(PYTHON) -m pytest -q -m slow tests/test_campaign_parallel.py
 	BENCH_PROCPOOL_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_procpool.py -q --benchmark-disable
 	@echo "check-procs ok: procpool unit suite + cross-backend parity + bench smoke"
+
+# The keyed tier gate: keyed-scheme determinism/rotation, the attacker-model
+# suite (including the process-backend parity and WorkerError CLI checks),
+# and one seeded entropy-experiment smoke through the CLI.
+check-keyed:
+	$(PYTHON) -m pytest -q tests/test_keyed_schemes.py tests/test_security_attacker.py
+	$(PYTHON) -m repro experiment entropy --smoke --seed 20080625 > /dev/null
+	@echo "check-keyed ok: keyed schemes + attacker suite + entropy smoke"
 
 # The benchmark trajectory gate: regenerate results/ in smoke mode (virtual-time
 # payloads are deterministic, so a clean tree reproduces the committed files),

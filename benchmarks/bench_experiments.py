@@ -110,6 +110,23 @@ def _check_nscaling(result) -> None:
     assert all(a < b for a, b in zip(syscalls, syscalls[1:]))
 
 
+def _check_entropy(result) -> None:
+    claims = result.claim_results()
+    assert all(claims.values()), claims
+    # The curve grows with key entropy at every N and tracks the analytic
+    # expectation within sampling error; nobody ever compromises undetected.
+    for n, points in result.curves().items():
+        bits = [point.key_bits for point in points]
+        assert bits == sorted(bits), n
+        means = [point.mean_probes for point in points]
+        assert all(a < b for a, b in zip(means, means[1:])), (n, means)
+        for point in points:
+            assert point.mean_probes < 3 * point.analytic_probes + 2
+            assert point.trace.successes == 0
+    assert result.replay_identical
+    assert all(result.uid_guarantee.values())
+
+
 def _check_ablations(result) -> None:
     latency = result.detection_latency
     assert latency.with_detection_calls is not None
@@ -137,6 +154,7 @@ EXTRA_CHECKS = {
     "detection": _check_detection,
     "nscaling": _check_nscaling,
     "ablations": _check_ablations,
+    "entropy": _check_entropy,
 }
 
 

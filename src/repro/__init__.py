@@ -62,6 +62,8 @@ from repro.api import (
     run_campaign,
     address_orbit_spec,
     combined_orbit_spec,
+    keyed_address_spec,
+    keyed_uid_spec,
     uid_orbit_spec,
 )
 
@@ -92,6 +94,8 @@ __all__ = [
     "build_system",
     "build_variations",
     "experiments",
+    "keyed_address_spec",
+    "keyed_uid_spec",
     "prepare_attack",
     "registry",
     "run_attack",

@@ -70,6 +70,8 @@ from repro.api.spec import (
     WorkloadSpec,
     address_orbit_spec,
     combined_orbit_spec,
+    keyed_address_spec,
+    keyed_uid_spec,
     uid_orbit_spec,
 )
 
@@ -111,6 +113,8 @@ __all__ = [
     "build_variations",
     "combined_orbit_spec",
     "experiments",
+    "keyed_address_spec",
+    "keyed_uid_spec",
     "prepare_attack",
     "registry",
     "run_attack",

@@ -227,6 +227,7 @@ def run_campaign(
     backend: str = "virtual",
     workers: Optional[int] = None,
     pool: Optional[ProcessWorkerPool] = None,
+    seed: Optional[int] = None,
 ) -> CampaignReport:
     """Run every attack against every system spec and collect the outcomes.
 
@@ -256,11 +257,21 @@ def run_campaign(
     share no state).  ``halt`` chooses what one cell's halt means for the
     rest of the campaign
     (:class:`~repro.engine.campaign.CampaignHaltPolicy`).
+
+    ``seed`` pins every seedable (keyed) variation in every spec to a seed
+    derived from it (:func:`~repro.api.seeding.seeded_spec`).  The rewrite
+    happens *before* backend dispatch, so the derived seeds travel inside the
+    serialized spec payloads and a seeded campaign is byte-identical across
+    backends and worker counts.
     """
     if backend not in CAMPAIGN_BACKENDS:
         raise ValueError(
             f"backend must be one of {', '.join(CAMPAIGN_BACKENDS)}, got {backend!r}"
         )
+    if seed is not None:
+        from repro.api.seeding import seeded_spec
+
+        specs = [seeded_spec(spec, seed) for spec in specs]
     selected = list(attacks) if attacks is not None else standard_attacks()
     halt_policy = halt if isinstance(halt, CampaignHaltPolicy) else CampaignHaltPolicy(halt)
     effective_workers = workers if workers is not None else parallelism

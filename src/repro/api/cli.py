@@ -10,7 +10,8 @@ A scenario file is data, not code::
       "rounds_per_turn": 8,                      // lockstep rounds per turn
       "halt": "per-cell",                        // or "halt-campaign"
       "backend": "process",                      // or "virtual" (the default)
-      "workers": 4                               // worker count on either backend
+      "workers": 4,                              // worker count on either backend
+      "seed": 1234                               // root seed for keyed variations
     }
 
     {
@@ -59,6 +60,7 @@ from repro.api.experiments import ExperimentRegistryError, experiments
 from repro.api.registry import VariationRegistryError, registry
 from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
 from repro.engine.campaign import CampaignHaltPolicy
+from repro.engine.procpool import WorkerError
 
 #: Output formats the campaign/throughput scenario kinds support.
 OUTPUT_FORMATS = ("text", "json")
@@ -136,6 +138,16 @@ def _resolve_positive_int(data: Mapping[str, Any], key: str, default: int) -> in
     value = data.get(key, default)
     if not isinstance(value, int) or isinstance(value, bool) or value < 1:
         raise ScenarioError(f"{key} must be a positive integer, got {value!r}")
+    return value
+
+
+def _resolve_seed(data: Mapping[str, Any]) -> Optional[int]:
+    """The campaign root seed: any integer, or absent (fresh randomness)."""
+    value = data.get("seed")
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ScenarioError(f"seed must be an integer, got {value!r}")
     return value
 
 
@@ -246,6 +258,7 @@ def _run_campaign_scenario(
         halt=halt_policy,
         backend=backend,
         workers=workers,
+        seed=_resolve_seed(data) if with_execution else None,
     )
     execution = report.execution
     if output == "json":
@@ -339,7 +352,8 @@ SCENARIO_RUNNERS = {
     "campaign": (
         lambda data, output: _run_campaign_scenario(data, output, kind="campaign"),
         frozenset(
-            {"systems", "attacks", "parallelism", "rounds_per_turn", "halt", "backend", "workers"}
+            {"systems", "attacks", "parallelism", "rounds_per_turn", "halt", "backend",
+             "workers", "seed"}
         ),
         OUTPUT_FORMATS,
     ),
@@ -360,6 +374,7 @@ def run_scenario(
     parallelism: Optional[int] = None,
     backend: Optional[str] = None,
     workers: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> tuple[int, str]:
     """Execute one loaded scenario; returns ``(exit_code, rendered output)``."""
     kind = data["scenario"]
@@ -386,6 +401,16 @@ def run_scenario(
             if key not in kind_keys:
                 raise ScenarioError(f"{kind} scenarios do not accept --{key}")
             data = {**data, key: override}
+    if seed is not None:
+        # Campaign scenarios take the root seed at the top level; experiment
+        # scenarios pass it through to experiments that declare the parameter
+        # (the registry rejects it for those that do not).
+        if kind == "experiment":
+            data = {**data, "params": {**data.get("params", {}), "seed": seed}}
+        elif "seed" in kind_keys:
+            data = {**data, "seed": seed}
+        else:
+            raise ScenarioError(f"{kind} scenarios do not accept --seed")
     resolved_output = _resolve_output(data, output, output_formats)
     return runner(data, resolved_output)
 
@@ -404,11 +429,31 @@ def _command_variations() -> int:
     return 0
 
 
-def _command_experiments(*, names_only: bool = False) -> int:
+def _command_experiments(*, names_only: bool = False, as_json: bool = False) -> int:
     rows = experiments.describe()
     if names_only:
         for row in rows:
             print(row["name"])
+        return 0
+    if as_json:
+        payload = [
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "parameters": [
+                    {
+                        "name": parameter.name,
+                        "type": parameter.kind.__name__,
+                        "default": parameter.default,
+                        "description": parameter.description,
+                    }
+                    for parameter in entry.parameters
+                ],
+                "smoke_params": dict(entry.smoke_params),
+            }
+            for entry in sorted(experiments, key=lambda e: e.name)
+        ]
+        print(json.dumps(payload, indent=2))
         return 0
     width = max(len(row["name"]) for row in rows)
     for row in rows:
@@ -442,6 +487,8 @@ def _command_experiment(arguments) -> int:
         params.setdefault("backend", arguments.backend)
     if getattr(arguments, "workers", None) is not None:
         params.setdefault("workers", arguments.workers)
+    if getattr(arguments, "seed", None) is not None:
+        params.setdefault("seed", arguments.seed)
     try:
         if arguments.smoke:
             spec = experiments.smoke_spec(arguments.name)
@@ -509,6 +556,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="K",
         help="override the campaign worker count on either backend (campaign scenarios)",
     )
+    run_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="root seed for keyed variations (campaign scenarios, and experiment "
+        "scenarios whose experiment declares a seed parameter)",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="run one registered experiment"
@@ -549,6 +604,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="K",
         help="shorthand for --set workers=... (experiments that run campaigns)",
     )
+    experiment_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="shorthand for --set seed=... (experiments with keyed randomness)",
+    )
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="list registered experiments"
@@ -558,6 +620,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print bare names only (one per line, for scripting)",
     )
+    experiments_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry dump (names, typed parameters, defaults)",
+    )
 
     subparsers.add_parser("variations", help="list registered variations")
 
@@ -565,7 +632,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.command == "variations":
         return _command_variations()
     if arguments.command == "experiments":
-        return _command_experiments(names_only=arguments.names)
+        return _command_experiments(names_only=arguments.names, as_json=arguments.json)
 
     try:
         if arguments.command == "experiment":
@@ -577,8 +644,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parallelism=arguments.parallelism,
             backend=arguments.backend,
             workers=arguments.workers,
+            seed=arguments.seed,
         )
     except (ScenarioError, VariationRegistryError, ExperimentRegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except WorkerError as exc:
+        # A process-backend cell died; surface the worker-side traceback the
+        # pool marshalled back instead of a master-side one.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(rendered)

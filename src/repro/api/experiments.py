@@ -507,6 +507,27 @@ experiments.register(
     smoke_params={"min_variants": 2, "max_variants": 3, "requests": 6, "parallelism": 4},
 )
 experiments.register(
+    "entropy",
+    f"{_EXPERIMENTS}.entropy:experiment",
+    description=(
+        "Key entropy vs probes-to-first-alarm: brute-force attacker strategies "
+        "against keyed fleets, plus the keyed-UID deterministic-detection control"
+    ),
+    parameters=(
+        ExperimentParameter("min_variants", int, 2, "smallest variant count swept"),
+        ExperimentParameter("max_variants", int, 4, "largest variant count swept"),
+        ExperimentParameter("min_key_bits", int, 2, "smallest key entropy swept"),
+        ExperimentParameter("max_key_bits", int, 6, "largest key entropy swept"),
+        ExperimentParameter("trials", int, 20, "independent keyed games per cell"),
+        ExperimentParameter("seed", int, 20080625, "root seed every draw derives from"),
+        ExperimentParameter(
+            "backend", str, "virtual", "campaign execution tier: virtual or process"
+        ),
+        ExperimentParameter("workers", int, 4, "campaign scheduler worker count"),
+    ),
+    smoke_params={"max_variants": 3, "max_key_bits": 4, "trials": 20},
+)
+experiments.register(
     "ablations",
     f"{_EXPERIMENTS}.ablations:experiment",
     description="Design-choice ablations: detection calls, reexpression mask, unshared files",

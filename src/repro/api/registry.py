@@ -23,11 +23,17 @@ from typing import Any, Callable, Iterator, Mapping, Optional
 from repro.core.variations.address import (
     AddressPartitioning,
     ExtendedAddressPartitioning,
+    KeyedAddressPartitioning,
     OrbitAddressPartitioning,
 )
 from repro.core.variations.base import Variation
 from repro.core.variations.instruction import InstructionSetTagging
-from repro.core.variations.uid import FullFlipUIDVariation, OrbitUIDVariation, UIDVariation
+from repro.core.variations.uid import (
+    FullFlipUIDVariation,
+    KeyedUIDVariation,
+    OrbitUIDVariation,
+    UIDVariation,
+)
 
 
 class VariationRegistryError(ValueError):
@@ -231,6 +237,24 @@ registry.register(
     ExtendedAddressPartitioning,
     description="Partitioning plus a per-variant offset (Bruschi et al. 2007), N-ary",
     aliases=("extended-address-partitioning",),
+)
+registry.register(
+    "uid-keyed",
+    KeyedUIDVariation,
+    description=(
+        "Keyed UID orbit: secret pairwise-distinct masks drawn from key_bits "
+        "of entropy (optionally pinned by seed), rotated on session restart"
+    ),
+    aliases=("uid-keyed-variation",),
+)
+registry.register(
+    "address-keyed",
+    KeyedAddressPartitioning,
+    description=(
+        "Keyed ASLR-style partitioning: secret slice assignments and slides "
+        "drawn from key_bits of entropy (optionally pinned by seed)"
+    ),
+    aliases=("keyed-address-partitioning",),
 )
 registry.register(
     "instruction-tagging",

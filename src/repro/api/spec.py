@@ -413,3 +413,44 @@ def combined_orbit_spec(num_variants: int) -> SystemSpec:
         variations=(VariationSpec("address-orbit"), VariationSpec("uid-orbit")),
         transformed=True,
     )
+
+
+def keyed_address_spec(
+    num_variants: int,
+    *,
+    key_bits: int = 8,
+    seed: "int | None" = None,
+    slide: bool = True,
+) -> SystemSpec:
+    """A keyed-ASLR fleet: secret slice layout drawn from *key_bits* of entropy.
+
+    Passing *seed* pins the key (reproducible experiments); leaving it ``None``
+    draws a fresh secret per build, which is the deployment semantics.
+    ``slide=False`` drops the secret intra-slice slides, leaving the pure
+    slice-assignment game the entropy experiment's analytic model covers.
+    """
+    params: dict = {"key_bits": key_bits, "slide": slide}
+    if seed is not None:
+        params["seed"] = seed
+    kind = "keyed-address" if slide else "keyed-orbit"
+    return SystemSpec(
+        name=f"{num_variants}-variant-{kind}-k{key_bits}",
+        num_variants=num_variants,
+        variations=(VariationSpec("address-keyed", params),),
+        transformed=False,
+    )
+
+
+def keyed_uid_spec(
+    num_variants: int, *, key_bits: int = 16, seed: "int | None" = None
+) -> SystemSpec:
+    """A keyed-UID fleet: secret pairwise-distinct masks from *key_bits* bits."""
+    params: dict = {"key_bits": key_bits}
+    if seed is not None:
+        params["seed"] = seed
+    return SystemSpec(
+        name=f"{num_variants}-variant-keyed-uid-k{key_bits}",
+        num_variants=num_variants,
+        variations=(VariationSpec("uid-keyed", params),),
+        transformed=True,
+    )

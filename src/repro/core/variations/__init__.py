@@ -14,17 +14,23 @@
   :class:`~repro.core.variations.uid.OrbitUIDVariation` -- the N-ary
   generalisations of both families, sharing the
   :class:`~repro.memory.partition.PartitionScheme` protocol.
+* :class:`~repro.core.variations.address.KeyedAddressPartitioning` /
+  :class:`~repro.core.variations.uid.KeyedUIDVariation` -- the keyed
+  variants: secret layouts/masks drawn from ``key_bits`` of entropy,
+  rotated on session restart (see :mod:`repro.security`).
 """
 
 from repro.core.variations.address import (
     AddressPartitioning,
     ExtendedAddressPartitioning,
+    KeyedAddressPartitioning,
     OrbitAddressPartitioning,
 )
 from repro.core.variations.base import Variation, VariationStack
 from repro.core.variations.instruction import InstructionSetTagging
 from repro.core.variations.uid import (
     FullFlipUIDVariation,
+    KeyedUIDVariation,
     OrbitUIDVariation,
     UID_MASK_31,
     UID_MASK_32,
@@ -44,6 +50,8 @@ __all__ = [
     "ExtendedAddressPartitioning",
     "FullFlipUIDVariation",
     "InstructionSetTagging",
+    "KeyedAddressPartitioning",
+    "KeyedUIDVariation",
     "OrbitAddressPartitioning",
     "OrbitUIDVariation",
     "TABLE1_VARIATIONS",

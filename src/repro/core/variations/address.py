@@ -28,6 +28,8 @@ from repro.memory.address_space import AddressSpace
 from repro.memory.partition import (
     ExtendedOrbitScheme,
     HighBitScheme,
+    KeyedAddressScheme,
+    KeyedOrbitScheme,
     OrbitScheme,
     PartitionScheme,
 )
@@ -112,3 +114,45 @@ class ExtendedAddressPartitioning(AddressPartitioning):
             num_variants, scheme=ExtendedOrbitScheme(num_variants, offset=offset)
         )
         self.offset = offset
+
+
+class KeyedAddressPartitioning(AddressPartitioning):
+    """Address partitioning with a *secret*, rotatable layout (keyed ASLR).
+
+    Each variant's slice assignment and intra-slice slide come from a
+    :class:`~repro.memory.partition.KeyedAddressScheme` keyed by ``key_bits``
+    of entropy (optionally pinned by *seed*).  Against the public address
+    schemes an attacker can aim an injected pointer into a known partition;
+    here every probe is a guess in a ``2**key_bits`` space, and a guess that
+    lands in *some* variant's partition -- but not everyone's -- diverges and
+    alarms, which is the probes-to-first-alarm game the `entropy` experiment
+    measures.  Keys rotate on session restart.
+    """
+
+    name = "keyed-address-partitioning"
+    reference = "keyed ASLR-style extension of Cox et al. [16] (this reproduction)"
+
+    def __init__(
+        self,
+        num_variants: int = 2,
+        *,
+        key_bits: int = 8,
+        seed: "int | None" = None,
+        slide: bool = True,
+    ):
+        scheme_cls = KeyedAddressScheme if slide else KeyedOrbitScheme
+        super().__init__(
+            num_variants,
+            scheme=scheme_cls(num_variants, key_bits=key_bits, seed=seed),
+        )
+        self.key_bits = key_bits
+        self.seed = seed
+        self.slide = slide
+
+    def rotate_key(self) -> None:
+        """Redraw the slice assignments and slides in place.
+
+        Address re-expressions and address spaces are derived from the
+        scheme on demand, so no cached state needs refreshing.
+        """
+        self.scheme.rotate()

@@ -98,14 +98,23 @@ class NVariantSession:
         self.state = SessionState.RUNNING
         self._ticks_consumed = 0
 
-        registry = UnsharedFileRegistry(num_variants)
-        registry.register_mapping(self.variations.setup_unshared_files(kernel.fs))
+        self._unshared_registry = UnsharedFileRegistry(num_variants)
+        self._unshared_registry.register_mapping(
+            self.variations.setup_unshared_files(kernel.fs)
+        )
+        self._spawn_runtimes()
 
-        self._contexts: list[VariantContext] = []
+    # -- construction helpers --------------------------------------------------
+
+    def _spawn_runtimes(self) -> None:
+        """Spawn fresh variant processes, contexts and program instances."""
+        from repro.core.nvariant import VariantContext
+
+        self._contexts: list["VariantContext"] = []
         processes: list[Process] = []
-        for index in range(num_variants):
-            process = kernel.spawn_process(
-                f"{name}-v{index}",
+        for index in range(self.num_variants):
+            process = self.kernel.spawn_process(
+                f"{self.name}-v{index}",
                 address_space=self.variations.make_address_space(index),
             )
             processes.append(process)
@@ -117,13 +126,43 @@ class NVariantSession:
                     uid_codec=self._build_codec(index),
                 )
             )
-        self.wrappers = SyscallWrappers(kernel, processes, registry)
+        self.wrappers = SyscallWrappers(self.kernel, processes, self._unshared_registry)
         self._runtimes = [
             _VariantRuntime(context=context, program=self.program_factory(context))
             for context in self._contexts
         ]
 
-    # -- construction helpers --------------------------------------------------
+    def restart(self, *, rotate_keys: bool = True) -> SessionState:
+        """Reset the session to run its program again from round zero.
+
+        Any keyed variation scheme is rotated first (the key-rotation-on-
+        restart semantics: a restarted fleet faces a fresh secret layout, so
+        knowledge an attacker accumulated across probes dies with the old
+        session) unless *rotate_keys* is False.  The monitor, comparator and
+        per-variant runtimes are rebuilt from scratch; the previous run's
+        processes are exited and its alarms discarded.
+        """
+        from repro.memory.partition import KeyedScheme
+
+        if rotate_keys:
+            for variation in self.variations:
+                rotate = getattr(variation, "rotate_key", None)
+                if rotate is not None:
+                    rotate()
+                    continue
+                scheme = getattr(variation, "scheme", None)
+                if isinstance(scheme, KeyedScheme):
+                    scheme.rotate()
+        for context in self._contexts:
+            if context.process.alive:
+                context.process.exit(0)
+        self.monitor = Monitor()
+        self.comparator = SyscallComparator(self.variations, self.monitor)
+        self.rounds = 0
+        self._ticks_consumed = 0
+        self.state = SessionState.RUNNING
+        self._spawn_runtimes()
+        return self.state
 
     def _build_codec(self, index: int) -> "UIDCodec":
         from repro.core.nvariant import UIDCodec

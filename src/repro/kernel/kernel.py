@@ -20,7 +20,7 @@ import dataclasses
 from typing import Any, Callable
 
 from repro.kernel.credentials import ROOT_UID
-from repro.kernel.errors import Errno, KernelError
+from repro.kernel.errors import Errno, KernelError, SegmentationFault
 from repro.kernel.filesystem import (
     FileSystem,
     O_ACCMODE,
@@ -110,6 +110,7 @@ class SimulatedKernel:
             Syscall.TIME: self._sys_time,
             Syscall.GETRANDOM: self._sys_getrandom,
             Syscall.NANOSLEEP: self._sys_nanosleep,
+            Syscall.PEEK: self._sys_peek,
             Syscall.UID_VALUE: self._sys_uid_value,
             Syscall.COND_CHK: self._sys_cond_chk,
             Syscall.CC_EQ: self._sys_cc(lambda a, b: a == b),
@@ -417,6 +418,20 @@ class SimulatedKernel:
     def _sys_nanosleep(self, process: Process, ticks: int) -> int:
         self.clock += max(0, int(ticks))
         return 0
+
+    def _sys_peek(self, process: Process, address: int, count: int = 4) -> bytes:
+        # A checked read of the caller's own address space.  An unmapped or
+        # out-of-partition address returns EFAULT as an errno result instead
+        # of killing the process: a unanimous miss stays silent (no variant
+        # faults, no lifecycle divergence), which is what makes it the probe
+        # primitive of the attacker model -- only a *partial* hit, where some
+        # variants read data and others do not, diverges and alarms.
+        if count <= 0 or count > 4096:
+            raise KernelError(Errno.EINVAL, f"peek count {count} out of range")
+        try:
+            return process.address_space.load_bytes(int(address), int(count))
+        except SegmentationFault as fault:
+            raise KernelError(Errno.EFAULT, str(fault)) from None
 
     # -- detection syscalls (Table 2), single-variant semantics --------------------------------
     #

@@ -181,6 +181,10 @@ class Libc:
         """Advance the virtual clock by *ticks*."""
         return self.syscall(Syscall.NANOSLEEP, ticks)
 
+    def peek(self, address: int, count: int = 4) -> SyscallGen:
+        """Checked read of *count* bytes at absolute *address* (EFAULT on miss)."""
+        return self.syscall(Syscall.PEEK, address, count)
+
     # -- detection calls (Table 2 of the paper) ----------------------------------------
 
     def uid_value(self, uid: int) -> SyscallGen:

@@ -86,6 +86,12 @@ class Syscall(enum.Enum):
     TIME = "time"
     GETRANDOM = "getrandom"
     NANOSLEEP = "nanosleep"
+    # A checked read of the caller's own address space: returns the bytes at
+    # an absolute address or fails with EFAULT instead of segfaulting.  It is
+    # deliberately absent from every policy set below, so the wrapper executes
+    # it per variant against each variant's own memory -- the probe primitive
+    # of the brute-force attacker model (repro.security).
+    PEEK = "peek"
 
     # -- detection system calls added by the paper (Table 2) ----------------
     UID_VALUE = "uid_value"

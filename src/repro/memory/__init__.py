@@ -22,6 +22,10 @@ from repro.memory.address_space import ADDRESS_MASK, PARTITION_BIT, AddressSpace
 from repro.memory.partition import (
     ExtendedOrbitScheme,
     HighBitScheme,
+    KeyedAddressScheme,
+    KeyedOrbitScheme,
+    KeyedScheme,
+    KeyedXorMaskScheme,
     OrbitScheme,
     PartitionScheme,
     PartitionSchemeError,
@@ -58,6 +62,10 @@ __all__ = [
     "CorruptionSpec",
     "ExtendedOrbitScheme",
     "HighBitScheme",
+    "KeyedAddressScheme",
+    "KeyedOrbitScheme",
+    "KeyedScheme",
+    "KeyedXorMaskScheme",
     "MemoryRegion",
     "MemoryVariable",
     "OrbitScheme",

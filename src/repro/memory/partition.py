@@ -40,6 +40,17 @@ Concrete schemes:
   protocol, which is what lets :class:`~repro.core.variations.uid.\
 OrbitUIDVariation` and the address variations share one API.
 
+Every fixed scheme above is *public*: an attacker who reads the source knows
+every mask and base, so detection is a boolean property of the scheme.  The
+keyed variants turn it probabilistic: :class:`KeyedXorMaskScheme`,
+:class:`KeyedOrbitScheme` and :class:`KeyedAddressScheme` draw their masks,
+slice assignments and slide offsets from an injected :class:`random.Random`
+keyed by a ``key_bits`` parameter, so an attacker must *search* a
+``2**key_bits`` space and every probe risks an alarm (see
+:mod:`repro.security`).  A keyed scheme satisfies the exact same round-trip,
+disjoint-inverse and placement invariants for any drawn key -- the property
+suite sweeps them like every other registered kind.
+
 The module-level :data:`SCHEMES` registry maps stable kind names to
 factories (``create_scheme("orbit", 5)``); new schemes register once and
 become constructible wherever a scheme is accepted.
@@ -52,6 +63,7 @@ lazily inside :meth:`PartitionScheme.reexpression`.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Optional
 
 #: Width of the partitioned value spaces (32-bit addresses and uid_t).
@@ -385,6 +397,207 @@ class XorMaskScheme(PartitionScheme):
 
 
 # ---------------------------------------------------------------------------
+# Keyed schemes: secret layouts drawn from an injected random.Random
+# ---------------------------------------------------------------------------
+
+
+def _keyed_rng(seed: Optional[int], rng: Optional[random.Random]) -> random.Random:
+    """The key source: an injected generator, a seeded one, or a fresh one.
+
+    Module-global :mod:`random` state is never touched -- reproducibility
+    flows entirely through the ``seed``/``rng`` parameters (the ``--seed``
+    plumbing hands every keyed scheme its own derived generator).
+    """
+    if rng is not None:
+        return rng
+    return random.Random(seed)
+
+
+class KeyedScheme:
+    """Mixin protocol shared by the keyed scheme kinds.
+
+    A keyed scheme holds its key source and redraws its secrets on
+    :meth:`rotate` -- the engine rotates keys when a session restarts, and
+    an unseeded scheme draws a fresh, unpredictable key per construction.
+    ``key_bits`` names the entropy of the secret an attacker must search:
+    the drawn layout is one point in a ``2**key_bits``-sized space.
+    """
+
+    #: Every keyed kind reports True so callers can detect rotatable schemes
+    #: without enumerating kinds.
+    keyed: bool = True
+
+    def rotate(self) -> None:
+        """Redraw the scheme's secrets from its key source, in place."""
+        raise NotImplementedError
+
+    def secret(self) -> tuple[int, ...]:
+        """The current secret, as a tuple (for tests and attacker oracles)."""
+        raise NotImplementedError
+
+
+class KeyedOrbitScheme(KeyedScheme, PartitionScheme):
+    """Orbit partitioning with *secret* slice assignments.
+
+    The top ``key_bits`` bits address ``2**key_bits`` equal slices; each of
+    the N partitions lives in a slice drawn (without replacement) from an
+    injected :class:`random.Random`.  The public orbit scheme pins partition
+    *i* to slice *i*; here an attacker guessing where variant data lives must
+    search the slice space, and any probe that lands inside *some* variant's
+    slice -- but not all of them -- diverges and raises an alarm.  Bases are
+    pairwise distinct by construction, so the round-trip/disjoint-inverse
+    invariants hold for every drawn key.
+    """
+
+    kind = "keyed-orbit"
+
+    #: Keep at least 2^16 nominal addresses so real program layouts still fit.
+    MAX_KEY_BITS = 16
+
+    def __init__(
+        self,
+        num_partitions: int,
+        *,
+        key_bits: int = 8,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        super().__init__(num_partitions)
+        if not 1 <= key_bits <= self.MAX_KEY_BITS:
+            raise PartitionSchemeError(
+                f"key_bits must be in 1..{self.MAX_KEY_BITS}, got {key_bits}"
+            )
+        if (1 << key_bits) < num_partitions:
+            raise PartitionSchemeError(
+                f"2^{key_bits} slices cannot host {num_partitions} partitions; "
+                f"raise key_bits to at least {_partition_bits(num_partitions)}"
+            )
+        self.key_bits = key_bits
+        self.shift = VALUE_BITS - key_bits
+        self._rng = _keyed_rng(seed, rng)
+        self.rotate()
+
+    def rotate(self) -> None:
+        self.slices: tuple[int, ...] = tuple(
+            self._rng.sample(range(1 << self.key_bits), self.num_partitions)
+        )
+        self._slice_owner = {s: i for i, s in enumerate(self.slices)}
+
+    def secret(self) -> tuple[int, ...]:
+        return self.slices
+
+    def base_of(self, index: int) -> int:
+        self.check_index(index)
+        return self.slices[index] << self.shift
+
+    def partition_of(self, value: int) -> Optional[int]:
+        return self._slice_owner.get((value & VALUE_MASK) >> self.shift)
+
+    @property
+    def nominal_capacity(self) -> int:
+        return 1 << self.shift
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: {self.num_partitions} partitions in secret "
+            f"slices among 2^{self.key_bits} ({self.key_bits}-bit key)"
+        )
+
+
+class KeyedAddressScheme(KeyedOrbitScheme):
+    """Keyed orbit slices plus secret per-partition slides (keyed ASLR).
+
+    On top of the secret slice assignment, each partition is slid by a
+    secret offset inside its slice (the keyed analogue of
+    :class:`ExtendedOrbitScheme`), so even an attacker who learns a slice
+    still faces low-byte uncertainty -- corresponding addresses differ
+    across variants in their low bytes too.  Capacity shrinks by the
+    largest drawn slide so placement holds over the whole nominal range.
+    """
+
+    kind = "keyed-address"
+
+    def rotate(self) -> None:
+        super().rotate()
+        # Slides stay within a quarter slice so at least 3/4 of each slice
+        # remains usable nominal capacity at any key size.
+        span = max(1, (1 << self.shift) >> 2)
+        self.offsets: tuple[int, ...] = tuple(
+            self._rng.randrange(span) for _ in range(self.num_partitions)
+        )
+
+    def secret(self) -> tuple[int, ...]:
+        return self.slices + self.offsets
+
+    def base_of(self, index: int) -> int:
+        self.check_index(index)
+        return (self.slices[index] << self.shift) + self.offsets[index]
+
+    @property
+    def nominal_capacity(self) -> int:
+        return (1 << self.shift) - max(self.offsets)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: {self.num_partitions} partitions in secret "
+            f"slices among 2^{self.key_bits}, each slid by a secret offset"
+        )
+
+
+class KeyedXorMaskScheme(KeyedScheme, XorMaskScheme):
+    """UID re-expression with *secret* pairwise-distinct XOR masks.
+
+    Masks are drawn without replacement from ``[0, 2**key_bits)`` (capped at
+    31 bits so the Section 3.2 sign-bit constraint holds by construction).
+    Unlike the public orbit masks, variant 0's mask is secret too: an
+    attacker cannot craft a concrete ``uid_t`` that decodes to a chosen
+    semantic UID in *any* variant without guessing that variant's mask.
+    Distinct masks keep the deterministic guarantee -- any injected concrete
+    value still decodes differently in at least two variants, so keyed UID
+    detection remains certain, not probabilistic (the entropy game lives in
+    the address family; see :mod:`repro.security`).
+    """
+
+    kind = "keyed-uid-xor"
+
+    def __init__(
+        self,
+        num_partitions: int,
+        *,
+        key_bits: int = 16,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 1 <= key_bits <= 31:
+            raise PartitionSchemeError(f"key_bits must be in 1..31, got {key_bits}")
+        if (1 << key_bits) < num_partitions:
+            raise PartitionSchemeError(
+                f"2^{key_bits} masks cannot be pairwise distinct across "
+                f"{num_partitions} partitions; raise key_bits"
+            )
+        self.key_bits = key_bits
+        self._rng = _keyed_rng(seed, rng)
+        super().__init__(self._draw_masks(num_partitions))
+
+    def _draw_masks(self, num_partitions: int) -> tuple[int, ...]:
+        return tuple(self._rng.sample(range(1 << self.key_bits), num_partitions))
+
+    def rotate(self) -> None:
+        # sample() draws without replacement and key_bits <= 31, so the
+        # pairwise-distinct and sign-bit invariants hold for every rotation.
+        self.masks = self._draw_masks(self.num_partitions)
+
+    def secret(self) -> tuple[int, ...]:
+        return self.masks
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} scheme: {self.num_partitions} secret pairwise-distinct "
+            f"XOR masks drawn from 2^{self.key_bits}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # The scheme registry
 # ---------------------------------------------------------------------------
 
@@ -397,6 +610,9 @@ SCHEMES: dict[str, SchemeFactory] = {
     OrbitScheme.kind: OrbitScheme,
     ExtendedOrbitScheme.kind: ExtendedOrbitScheme,
     XorMaskScheme.kind: XorMaskScheme.for_uids,
+    KeyedOrbitScheme.kind: KeyedOrbitScheme,
+    KeyedAddressScheme.kind: KeyedAddressScheme,
+    KeyedXorMaskScheme.kind: KeyedXorMaskScheme,
 }
 
 

@@ -38,6 +38,7 @@ from repro.api.spec import ExperimentSpec
 EXPECTED_EXPERIMENTS = (
     "ablations",
     "detection",
+    "entropy",
     "figure1",
     "figure2",
     "nscaling",
@@ -54,6 +55,7 @@ FAST_PARAMS = {
     "figure1": {"benign_requests": 4},
     "ablations": {"user_space_uses": 3, "requests": 2},
     "nscaling": {"min_variants": 2, "max_variants": 3, "requests": 6},
+    "entropy": {"max_variants": 3, "max_key_bits": 4, "trials": 20},
 }
 
 

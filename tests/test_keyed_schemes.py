@@ -1,0 +1,245 @@
+"""Tests for the keyed partition schemes and their variation/spec plumbing.
+
+The keyed schemes' *structural* invariants (round-trip, disjoint inverses,
+placement) are already pinned by the generic sweep in
+``test_partition_schemes.py`` -- every kind in ``SCHEMES`` rides it.  What
+this module pins is what makes them *keyed*:
+
+* determinism -- the same ``(key_bits, seed)`` draws the same secret layout,
+  different seeds draw different ones, and seedless construction still obeys
+  every invariant;
+* rotation -- ``rotate()`` redraws the secret in place (and the variation
+  hooks refresh whatever they cached), including through
+  ``NVariantSession.restart(rotate_keys=True)``;
+* plumbing -- registry entries, spec helpers, and
+  :func:`~repro.api.seeding.seeded_spec`'s derived-seed injection, so a
+  seeded campaign is reproducible across backends.
+"""
+
+import random
+
+import pytest
+
+from repro.api.builders import build_session, build_variations
+from repro.api.registry import registry
+from repro.api.seeding import derive_seed, seeded_spec
+from repro.api.spec import SystemSpec, keyed_address_spec, keyed_uid_spec
+from repro.core.variations.address import KeyedAddressPartitioning
+from repro.core.variations.uid import KeyedUIDVariation
+from repro.engine.session import SessionState
+from repro.kernel.host import build_standard_host
+from repro.memory.partition import (
+    KeyedAddressScheme,
+    KeyedOrbitScheme,
+    KeyedScheme,
+    KeyedXorMaskScheme,
+    PartitionSchemeError,
+    SCHEMES,
+    create_scheme,
+)
+
+KEYED_KINDS = ("keyed-orbit", "keyed-address", "keyed-uid-xor")
+
+
+class TestKeyedSchemeConstruction:
+    def test_keyed_kinds_are_registered(self):
+        for kind in KEYED_KINDS:
+            assert kind in SCHEMES
+            scheme = create_scheme(kind, 3)
+            assert isinstance(scheme, KeyedScheme)
+            assert scheme.keyed
+
+    def test_public_schemes_are_not_keyed(self):
+        for kind in ("high-bit", "orbit", "extended-orbit", "uid-xor"):
+            scheme = create_scheme(kind, 2 if kind == "high-bit" else 3)
+            assert not getattr(scheme, "keyed", False)
+
+    @pytest.mark.parametrize("kind", KEYED_KINDS)
+    def test_same_seed_same_secret(self, kind):
+        a = create_scheme(kind, 4, seed=99)
+        b = create_scheme(kind, 4, seed=99)
+        assert a.secret() == b.secret()
+
+    @pytest.mark.parametrize("kind", KEYED_KINDS)
+    def test_different_seeds_differ(self, kind):
+        secrets = {create_scheme(kind, 4, seed=s).secret() for s in range(8)}
+        assert len(secrets) > 1
+
+    def test_injected_rng_wins_over_seed(self):
+        via_rng = KeyedOrbitScheme(3, key_bits=8, rng=random.Random(5))
+        via_seed = KeyedOrbitScheme(3, key_bits=8, seed=5)
+        assert via_rng.secret() == via_seed.secret()
+
+    def test_key_bits_bounds_enforced(self):
+        with pytest.raises(PartitionSchemeError):
+            KeyedOrbitScheme(3, key_bits=0)
+        with pytest.raises(PartitionSchemeError):
+            KeyedOrbitScheme(3, key_bits=17)
+        with pytest.raises(PartitionSchemeError):
+            KeyedOrbitScheme(5, key_bits=2)  # 2**2 slices < 5 variants
+        with pytest.raises(PartitionSchemeError):
+            KeyedXorMaskScheme(2, key_bits=32)
+
+    def test_slices_are_distinct_and_in_range(self):
+        scheme = KeyedAddressScheme(6, key_bits=5, seed=1)
+        assert len(set(scheme.slices)) == 6
+        assert all(0 <= s < 32 for s in scheme.slices)
+        assert all(0 <= o < (1 << (scheme.shift - 2)) + 1 for o in scheme.offsets)
+
+    def test_uid_masks_are_pairwise_distinct(self):
+        scheme = KeyedXorMaskScheme(5, key_bits=8, seed=3)
+        # Unlike the public orbit, variant 0's mask is secret (not identity).
+        assert len(set(scheme.masks)) == 5
+        assert all(0 <= mask < (1 << 8) for mask in scheme.masks)
+
+
+class TestRotation:
+    @pytest.mark.parametrize("kind", KEYED_KINDS)
+    def test_rotate_redraws_the_secret(self, kind):
+        scheme = create_scheme(kind, 3, seed=7)
+        before = scheme.secret()
+        drawn = {before}
+        for _ in range(6):
+            scheme.rotate()
+            drawn.add(scheme.secret())
+        assert len(drawn) > 1
+
+    def test_rotation_preserves_invariants(self):
+        scheme = KeyedAddressScheme(4, key_bits=6, seed=11)
+        for _ in range(4):
+            scheme.rotate()
+            for index in range(4):
+                base = scheme.base_of(index)
+                assert scheme.partition_of(base) == index
+                address = scheme.translate(index, 0x40)
+                assert scheme.untranslate(index, address) == 0x40
+                assert scheme.partition_of(address) == index
+
+    def test_uid_variation_rotate_refreshes_cached_masks(self):
+        variation = KeyedUIDVariation(num_variants=3, seed=2)
+        before = tuple(variation.masks)
+        decoded_before = variation.reexpression(1).inverse(variation.masks[1] ^ 1000)
+        for _ in range(6):
+            variation.rotate_key()
+            if tuple(variation.masks) != before:
+                break
+        else:
+            pytest.fail("six rotations never changed the masks")
+        assert variation.masks == variation.scheme.masks
+        assert variation.mask == variation.masks[1]
+        decoded_after = variation.reexpression(1).inverse(variation.masks[1] ^ 1000)
+        assert decoded_before == decoded_after == 1000
+
+    def test_address_variation_rotate_delegates_to_scheme(self):
+        variation = KeyedAddressPartitioning(num_variants=2, key_bits=6, seed=4)
+        secrets = {variation.scheme.secret()}
+        for _ in range(6):
+            variation.rotate_key()
+            secrets.add(variation.scheme.secret())
+        assert len(secrets) > 1
+
+
+class TestSessionRestart:
+    def _session(self, spec):
+        def factory(context):
+            def program():
+                result = yield from context.libc.getuid()
+                return result.value
+
+            return program()
+
+        return build_session(spec, build_standard_host(), factory, name="restart-test")
+
+    def test_restart_rotates_keys_and_resets_state(self):
+        spec = keyed_address_spec(2, key_bits=8, seed=1)
+        session = self._session(spec)
+        variation = next(iter(session.variations))
+        before = variation.scheme.secret()
+        session.run()
+        assert session.state is SessionState.COMPLETED
+        secrets = {before}
+        for _ in range(6):
+            session.restart(rotate_keys=True)
+            assert session.state is SessionState.RUNNING
+            assert session.rounds == 0
+            secrets.add(variation.scheme.secret())
+            session.run()
+            assert session.state is SessionState.COMPLETED
+        assert len(secrets) > 1
+
+    def test_restart_without_rotation_keeps_the_key(self):
+        spec = keyed_address_spec(2, key_bits=8, seed=1)
+        session = self._session(spec)
+        secret = next(iter(session.variations)).scheme.secret()
+        session.run()
+        session.restart(rotate_keys=False)
+        assert next(iter(session.variations)).scheme.secret() == secret
+
+    def test_restarted_session_still_computes(self):
+        spec = keyed_uid_spec(2, seed=9)
+        session = self._session(spec)
+        session.run()
+        variation = next(iter(session.variations))
+        raw = session.result().variants[0].return_value
+        first = variation.decode(0, raw)
+        session.restart()
+        session.run()
+        assert session.state is SessionState.COMPLETED
+        # The raw re-expressed value changes with the rotated key, but it
+        # still decodes to the same semantic UID.
+        rotated_raw = session.result().variants[0].return_value
+        assert variation.decode(0, rotated_raw) == first
+
+
+class TestSpecPlumbing:
+    def test_keyed_variations_are_registered(self):
+        assert "uid-keyed" in registry
+        assert "address-keyed" in registry
+        assert "seed" in registry.get("uid-keyed").parameters()
+        assert "seed" in registry.get("address-keyed").parameters()
+
+    def test_keyed_specs_round_trip(self):
+        for spec in (
+            keyed_address_spec(3, key_bits=7, seed=5),
+            keyed_address_spec(2, slide=False),
+            keyed_uid_spec(4, key_bits=12, seed=8),
+        ):
+            assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_keyed_specs_build(self):
+        uid = build_variations(keyed_uid_spec(3, seed=1))[0]
+        assert isinstance(uid, KeyedUIDVariation)
+        assert uid.num_variants == 3
+        address = build_variations(keyed_address_spec(3, seed=1, slide=False))[0]
+        assert isinstance(address, KeyedAddressPartitioning)
+        assert isinstance(address.scheme, KeyedOrbitScheme)
+        sliding = build_variations(keyed_address_spec(3, seed=1, slide=True))[0]
+        assert isinstance(sliding.scheme, KeyedAddressScheme)
+
+    def test_derive_seed_is_stable_and_spread(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert 0 <= derive_seed(123, "x") < (1 << 63)
+
+    def test_seeded_spec_injects_derived_seeds(self):
+        spec = keyed_address_spec(2, key_bits=6)
+        seeded = seeded_spec(spec, 42)
+        params = seeded.variations[0].params_dict()
+        assert params["seed"] == derive_seed(42, spec.name, 0, "address-keyed")
+        # Same root seed, same derived seed; explicit seeds are left alone.
+        assert seeded_spec(spec, 42) == seeded
+        pinned = keyed_address_spec(2, key_bits=6, seed=7)
+        assert seeded_spec(pinned, 42) == pinned
+
+    def test_seeded_spec_skips_unseeded_variations(self):
+        from repro.api.spec import address_orbit_spec
+
+        spec = address_orbit_spec(3)
+        assert seeded_spec(spec, 42) is spec
+
+    def test_seeded_build_reproduces_the_layout(self):
+        spec = seeded_spec(keyed_address_spec(2, key_bits=8), 42)
+        first = build_variations(spec)[0].scheme.secret()
+        second = build_variations(spec)[0].scheme.secret()
+        assert first == second
