@@ -12,6 +12,9 @@
 #                            against the baseline with claim flips fatal
 #   make check-keyed      -- the keyed-scheme/attacker-model tier: both unit
 #                            suites plus an entropy-experiment smoke via the CLI
+#   make check-corpus     -- the scenario-corpus tier: corpus/seed unit suites,
+#                            then generate a small corpus and run the corpus
+#                            experiment over it (scorecard must be all-pass)
 #   make experiments-smoke -- every registered experiment at its smallest spec,
 #                            via the CLI (claims gate the exit code)
 #   make bench            -- every benchmark, with timing; each writes
@@ -31,12 +34,13 @@ BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.p
 EXAMPLES := $(wildcard examples/*.py)
 
 .PHONY: test check check-parallel check-procs check-bench check-keyed \
-	experiments-smoke bench bench-smoke bench-procpool-smoke bench-diff examples
+	check-corpus experiments-smoke bench bench-smoke bench-procpool-smoke \
+	bench-diff examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test experiments-smoke check-keyed check-bench
+check: test experiments-smoke check-keyed check-corpus check-bench
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
@@ -81,6 +85,17 @@ check-keyed:
 	$(PYTHON) -m pytest -q tests/test_keyed_schemes.py tests/test_security_attacker.py
 	$(PYTHON) -m repro experiment entropy --smoke --seed 20080625 > /dev/null
 	@echo "check-keyed ok: keyed schemes + attacker suite + entropy smoke"
+
+# The scenario-corpus gate: the corpus/oracle/scorecard unit suite and the
+# seed/boundary properties, then a generate -> run round trip through the CLI
+# (a written smoke corpus, graded on both backends; any scorecard miss fails
+# the experiment's claims and with them the target).
+check-corpus:
+	$(PYTHON) -m pytest -q tests/test_corpus.py tests/test_seed_and_boundaries.py
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(PYTHON) -m repro corpus generate --seed 20080625 --records 60 --out "$$dir" > /dev/null; \
+	$(PYTHON) -m repro experiment corpus --corpus-dir "$$dir" --set workers=4 > /dev/null
+	@echo "check-corpus ok: corpus suites + generated-corpus scorecard all-pass"
 
 # The benchmark trajectory gate: regenerate results/ in smoke mode (virtual-time
 # payloads are deterministic, so a clean tree reproduces the committed files),

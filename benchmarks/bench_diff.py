@@ -193,7 +193,11 @@ def main(argv: list[str] | None = None) -> int:
         title = name[len("BENCH_"):-len(".json")]
         if name not in baseline_files:
             metrics = load_metrics(result_files[name])
-            print(f"{title}: new benchmark (no baseline), {len(metrics)} metrics")
+            print(
+                f"{title}: missing baseline file {arguments.baseline / name} "
+                f"({len(metrics)} new metrics untracked); run `make bench-smoke` "
+                f"and commit benchmarks/baseline/{name} to start its trajectory"
+            )
             for metric in sorted(m for m, v in metrics.items() if v is False and is_claim(m)):
                 total_flips += 1
                 print(f"  ! {metric} = False (new benchmark, born failing)")

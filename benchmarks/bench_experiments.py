@@ -127,6 +127,22 @@ def _check_entropy(result) -> None:
     assert all(result.uid_guarantee.values())
 
 
+def _check_corpus(result) -> None:
+    claims = result.claim_results()
+    assert all(claims.values()), claims
+    card = result.scorecard
+    # The corpus is the full default matrix: hundreds of records, every
+    # mutation class represented, and the exempt class both escapes and
+    # contains outright compromises (the outside-the-guarantee evidence).
+    assert card.total >= 200
+    assert card.passed == card.total and not card.misses
+    assert len(result.mutation_classes()) >= 8
+    assert card.exempt_total > 0
+    assert card.exempt_undetected == card.exempt_total
+    assert card.exempt_compromises > 0
+    assert list(result.scorecards) == ["virtual", "process"]
+
+
 def _check_ablations(result) -> None:
     latency = result.detection_latency
     assert latency.with_detection_calls is not None
@@ -155,6 +171,7 @@ EXTRA_CHECKS = {
     "nscaling": _check_nscaling,
     "ablations": _check_ablations,
     "entropy": _check_entropy,
+    "corpus": _check_corpus,
 }
 
 

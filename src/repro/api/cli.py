@@ -58,6 +58,7 @@ from repro.api.campaign import (
 )
 from repro.api.experiments import ExperimentRegistryError, experiments
 from repro.api.registry import VariationRegistryError, registry
+from repro.corpus.records import CorpusError
 from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
 from repro.engine.campaign import CampaignHaltPolicy
 from repro.engine.procpool import WorkerError
@@ -84,7 +85,10 @@ def load_scenario(path: Path) -> dict[str, Any]:
         data = json.loads(path.read_text())
     except OSError as exc:
         raise ScenarioError(f"cannot read scenario file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise ScenarioError(f"scenario file {path} is not valid UTF-8: {exc}") from exc
     except json.JSONDecodeError as exc:
+        # str(exc) carries "line L column C (char N)" -- keep it verbatim.
         raise ScenarioError(f"scenario file {path} is not valid JSON: {exc}") from exc
     if not isinstance(data, Mapping):
         raise ScenarioError(f"scenario file {path} must hold a JSON object")
@@ -489,6 +493,8 @@ def _command_experiment(arguments) -> int:
         params.setdefault("workers", arguments.workers)
     if getattr(arguments, "seed", None) is not None:
         params.setdefault("seed", arguments.seed)
+    if getattr(arguments, "corpus_dir", None) is not None:
+        params.setdefault("corpus_dir", str(arguments.corpus_dir))
     try:
         if arguments.smoke:
             spec = experiments.smoke_spec(arguments.name)
@@ -513,6 +519,16 @@ def _command_experiment(arguments) -> int:
             file=sys.stderr,
         )
     return exit_code
+
+
+def _command_corpus(arguments) -> int:
+    """``repro corpus generate``: write a seeded scenario corpus to disk."""
+    from repro.corpus import generate_corpus, write_corpus
+
+    records = generate_corpus(arguments.seed, records=arguments.records)
+    out_dir = write_corpus(records, arguments.out, seed=arguments.seed)
+    print(f"wrote {len(records)} scenario records to {out_dir}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -611,6 +627,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="S",
         help="shorthand for --set seed=... (experiments with keyed randomness)",
     )
+    experiment_parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="shorthand for --set corpus_dir=... (the corpus experiment: run a "
+        "written corpus directory instead of generating one)",
+    )
+
+    corpus_parser = subparsers.add_parser(
+        "corpus", help="scenario-corpus tools (see 'corpus generate')"
+    )
+    corpus_subparsers = corpus_parser.add_subparsers(dest="corpus_command", required=True)
+    generate_parser = corpus_subparsers.add_parser(
+        "generate", help="write a seeded scenario corpus directory"
+    )
+    generate_parser.add_argument(
+        "--seed",
+        type=int,
+        default=20080625,
+        metavar="S",
+        help="root seed every record derives from (default: 20080625)",
+    )
+    generate_parser.add_argument(
+        "--records",
+        type=int,
+        default=240,
+        metavar="N",
+        help="corpus size after class-balanced trimming (default: 240)",
+    )
+    generate_parser.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="directory to write the record files and manifest into",
+    )
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="list registered experiments"
@@ -637,6 +690,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if arguments.command == "experiment":
             return _command_experiment(arguments)
+        if arguments.command == "corpus":
+            return _command_corpus(arguments)
         data = load_scenario(arguments.scenario)
         exit_code, rendered = run_scenario(
             data,
@@ -646,7 +701,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=arguments.workers,
             seed=arguments.seed,
         )
-    except (ScenarioError, VariationRegistryError, ExperimentRegistryError) as exc:
+    except (ScenarioError, VariationRegistryError, ExperimentRegistryError, CorpusError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except WorkerError as exc:

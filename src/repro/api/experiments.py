@@ -528,6 +528,26 @@ experiments.register(
     smoke_params={"max_variants": 3, "max_key_bits": 4, "trials": 20},
 )
 experiments.register(
+    "corpus",
+    f"{_EXPERIMENTS}.corpus:experiment",
+    description=(
+        "Generated scenario corpus vs the analytic guarantee: seeded mutation "
+        "matrix over scheme x N x mutation class, graded on both backends"
+    ),
+    parameters=(
+        ExperimentParameter("records", int, 240, "corpus size after trimming"),
+        ExperimentParameter("seed", int, 20080625, "root seed the generator derives from"),
+        ExperimentParameter(
+            "backend", str, "both", "execution tier: virtual, process, or both"
+        ),
+        ExperimentParameter("workers", int, 8, "scheduler/pool worker count"),
+        ExperimentParameter(
+            "corpus_dir", str, "", "load a written corpus instead of generating"
+        ),
+    ),
+    smoke_params={"records": 60, "workers": 4},
+)
+experiments.register(
     "ablations",
     f"{_EXPERIMENTS}.ablations:experiment",
     description="Design-choice ablations: detection calls, reexpression mask, unshared files",

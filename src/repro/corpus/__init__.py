@@ -1,0 +1,50 @@
+"""Generated scenario corpus and guarantee-boundary fuzzing.
+
+The paper's central claim is a *detection guarantee*: any attack that
+corrupts diversified data is caught, for every partition scheme and every N.
+This package tests that guarantee empirically at scale:
+
+* :mod:`~repro.corpus.records` -- the scenario-record schema (one JSON file
+  per record) and corpus directory (de)serialization;
+* :mod:`~repro.corpus.oracle` -- the analytic oracle that derives each
+  record's *expected* outcome (detected / benign / guarantee-exempt) from
+  the scheme's guarantee, byte for byte;
+* :mod:`~repro.corpus.generator` -- the deterministic, seedable generator
+  crossing base attacks with guarantee-edge mutations, boundary values, N
+  sweeps (2..8) and the full scheme cross-product, keyed families included;
+* :mod:`~repro.corpus.runner` -- runs a corpus through the campaign
+  machinery on the virtual or process backend;
+* :mod:`~repro.corpus.scorecard` -- grades actual against expected outcomes
+  per scheme x N x mutation class.
+
+The ``corpus`` experiment (:mod:`repro.analysis.experiments.corpus`) wires
+these together and gates the scorecard under ``bench-diff``.
+"""
+
+from repro.corpus.generator import DEFAULT_RECORDS, generate_corpus
+from repro.corpus.records import (
+    EXPECTED_BENIGN,
+    EXPECTED_DETECTED,
+    EXPECTED_EXEMPT,
+    CorpusError,
+    CorpusRecord,
+    read_corpus,
+    write_corpus,
+)
+from repro.corpus.runner import run_corpus_records
+from repro.corpus.scorecard import Scorecard, evaluate_corpus
+
+__all__ = [
+    "CorpusError",
+    "CorpusRecord",
+    "DEFAULT_RECORDS",
+    "EXPECTED_BENIGN",
+    "EXPECTED_DETECTED",
+    "EXPECTED_EXEMPT",
+    "Scorecard",
+    "evaluate_corpus",
+    "generate_corpus",
+    "read_corpus",
+    "run_corpus_records",
+    "write_corpus",
+]

@@ -1,0 +1,443 @@
+"""The deterministic corpus generator.
+
+``generate_corpus(seed, records)`` is a pure function: the full scenario
+matrix is the cross product of
+
+* **UID-family specs** -- the paper's 2-variant UID system, a
+  deliberately weakened high-byte-mask variant (its masks agree on the low
+  three bytes, opening a guarantee-exempt window the corpus must classify
+  correctly, not hide), the N-ary UID orbit for N in 2..8, and keyed-mask
+  fleets (seeds derived from the corpus seed, so the drawn masks are
+  reproducible and the oracle reconstructs them exactly);
+* **address-family specs** -- the paper's high-bit split, the address orbit
+  for N in 3..8, Bruschi-style extended (slid) partitioning, and the keyed
+  slice/slide families;
+* **mutation classes** -- complete overwrites, boundary UIDs (sign bit,
+  2^31-1), remote partial overwrites (with the strcpy terminator modelled),
+  terminator-only off-by-one overruns, buffer-edge benign annotations,
+  unanimity-preserving bit flips, in-place partial corruptions, absolute
+  pointer injections, scheme boundary addresses (partition edges from
+  :func:`~repro.memory.partition.boundary_values`), and partial pointer
+  overwrites that walk the banner-region edge byte by byte;
+
+plus a few cross-family records (UID attacks against address-only systems
+and vice versa) that demonstrate each family's blind spot for the other's
+values.  Every record's expectation comes from :mod:`repro.corpus.oracle`.
+
+When *records* is smaller than the matrix, the trim selects round-robin
+across mutation classes (preserving in-class order), so every class -- and
+in particular the guarantee-exempt ones -- survives down to smoke sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.api.seeding import derive_seed
+from repro.api.spec import (
+    ADDRESS_PARTITIONING_SPEC,
+    UID_DIVERSITY_SPEC,
+    SystemSpec,
+    VariationSpec,
+    address_orbit_spec,
+    keyed_address_spec,
+    keyed_uid_spec,
+    uid_orbit_spec,
+)
+from repro.apps.httpd.vulnerable import ANNOTATION_BUFFER_SIZE, BANNER_REGION_BASE
+from repro.attacks.memory_attacks import INJECTED_ABSOLUTE_ADDRESS
+from repro.attacks.payloads import traversal_path
+from repro.corpus.oracle import (
+    Expectation,
+    address_scheme_for_spec,
+    annotation_expectation,
+    corruption_expectation,
+    pointer_expectation,
+    remote_uid_overwrite_expectation,
+    uid_masks_for_spec,
+    uid_span_expectation,
+)
+from repro.corpus.records import CorpusRecord
+from repro.memory.partition import boundary_values
+
+#: Default generator seed (the paper's DSN 2008 presentation date, like the
+#: other experiments) and default corpus size.
+DEFAULT_SEED = 20080625
+DEFAULT_RECORDS = 240
+
+#: The weakened UID mask whose low three bytes agree with variant 0's
+#: identity mask: spans of 1..3 corrupted low bytes decode unanimously
+#: (guarantee-exempt), while any 4-byte corruption still diverges.
+HIGH_BYTE_MASK = 0x7F000000
+
+#: Partial-pointer walk: (partial_bytes, injected value).  With one attacker
+#: byte the pointer keeps every variant's banner base -- offsets 8 and 48
+#: stay readable (48 is the last offset a 16-byte read fits; guarantee
+#: exempt) while 49 crosses the region edge by one byte and every variant
+#: faults.  Two bytes zero the banner-selecting bit 21 (all variants fault
+#: below their banner); three bytes re-inject the full banner offset, which
+#: plain orbits accept unanimously but slid (extended) schemes detect.
+POINTER_PARTIAL_WALK: tuple[tuple[int, int], ...] = (
+    (1, 8),
+    (1, 48),
+    (1, 49),
+    (2, 0),
+    (3, BANNER_REGION_BASE + 8),
+)
+
+#: Boundary labels kept per address spec (first partition's lower edge, last
+#: partition's upper edge, and the global 32-bit edges).
+_BOUNDARY_LABELS = ("p0-first", "p0-below", "zero", "int31-max", "sign-bit", "value-max")
+
+
+def _uid_specs(seed: int) -> list[tuple[str, SystemSpec]]:
+    specs: list[tuple[str, SystemSpec]] = [("uid-xor", UID_DIVERSITY_SPEC)]
+    specs.append(
+        (
+            "uid-xor-highmask",
+            SystemSpec(
+                name="2-variant-uid-highmask",
+                variations=(VariationSpec.of("uid", mask=HIGH_BYTE_MASK),),
+                transformed=True,
+            ),
+        )
+    )
+    for n in range(2, 9):
+        specs.append(("uid-orbit", uid_orbit_spec(n)))
+    for n in (2, 4, 8):
+        specs.append(
+            (
+                "keyed-uid-xor",
+                keyed_uid_spec(n, key_bits=16, seed=derive_seed(seed, "keyed-uid", n)),
+            )
+        )
+    return specs
+
+
+def _address_specs(seed: int) -> list[tuple[str, SystemSpec]]:
+    specs: list[tuple[str, SystemSpec]] = [("high-bit", ADDRESS_PARTITIONING_SPEC)]
+    for n in range(3, 9):
+        specs.append(("orbit", address_orbit_spec(n)))
+    for n in (2, 3, 4):
+        specs.append(
+            (
+                "extended-orbit",
+                SystemSpec(
+                    name=f"{n}-variant-address-extended",
+                    num_variants=n,
+                    variations=(VariationSpec("address-extended"),),
+                    transformed=False,
+                ),
+            )
+        )
+    for n in (2, 4):
+        specs.append(
+            (
+                "keyed-orbit",
+                keyed_address_spec(
+                    n, key_bits=8, slide=False, seed=derive_seed(seed, "keyed-orbit", n)
+                ),
+            )
+        )
+    specs.append(
+        (
+            "keyed-address",
+            keyed_address_spec(
+                2, key_bits=8, slide=True, seed=derive_seed(seed, "keyed-slide", 2)
+            ),
+        )
+    )
+    return specs
+
+
+class _MatrixBuilder:
+    """Accumulates (class, attack, expectation) rows into numbered records."""
+
+    def __init__(self) -> None:
+        self.records: list[CorpusRecord] = []
+
+    def add(
+        self,
+        *,
+        family: str,
+        scheme: str,
+        spec: SystemSpec,
+        mutation_class: str,
+        attack: dict,
+        expectation: Expectation,
+    ) -> None:
+        index = len(self.records)
+        self.records.append(
+            CorpusRecord(
+                record_id=f"{index:04d}-{mutation_class}-{spec.name}",
+                family=family,
+                scheme=scheme,
+                num_variants=spec.num_variants,
+                mutation_class=mutation_class,
+                attack=attack,
+                spec=spec.to_dict(),
+                expected=expectation.expected,
+                expected_kind=expectation.kind.value,
+                why=expectation.why,
+            )
+        )
+
+
+def _uid_attacks_for(builder: _MatrixBuilder, scheme: str, spec: SystemSpec) -> None:
+    masks = uid_masks_for_spec(spec)
+
+    def overwrite(mutation_class: str, uid: int, partial_bytes: int) -> None:
+        builder.add(
+            family="uid",
+            scheme=scheme,
+            spec=spec,
+            mutation_class=mutation_class,
+            attack={
+                "kind": "uid-overwrite",
+                "name": f"uid-overwrite-0x{uid:08x}-k{partial_bytes}",
+                "description": (
+                    f"header overflow writes {partial_bytes} byte(s) of "
+                    f"0x{uid:08x} over worker_uid"
+                ),
+                "uid": uid,
+                "partial_bytes": partial_bytes,
+            },
+            expectation=remote_uid_overwrite_expectation(
+                masks, uid=uid, partial_bytes=partial_bytes
+            ),
+        )
+
+    overwrite("full-word", 0, 4)
+    for uid in (1, 0x7FFFFFFF, 0x80000000):
+        overwrite("boundary-uid", uid, 4)
+    for partial_bytes in (1, 2, 3):
+        overwrite("partial-overwrite", 0, partial_bytes)
+    # A non-zero low byte: exempt against low-byte-agreeing masks, but the
+    # unanimous decode is a harmless uid, not root.
+    overwrite("partial-overwrite", 0x42, 1)
+
+    for length in (ANNOTATION_BUFFER_SIZE - 1, ANNOTATION_BUFFER_SIZE):
+        mutation_class = (
+            "boundary-annotation" if length < ANNOTATION_BUFFER_SIZE else "off-by-one"
+        )
+        builder.add(
+            family="uid",
+            scheme=scheme,
+            spec=spec,
+            mutation_class=mutation_class,
+            attack={
+                "kind": "annotation",
+                "name": f"annotation-{length}",
+                "description": f"annotation of exactly {length} bytes at the buffer edge",
+                "length": length,
+                "path": traversal_path(),
+            },
+            expectation=annotation_expectation(masks, length=length),
+        )
+
+    for bit in (0, 31):
+        builder.add(
+            family="uid",
+            scheme=scheme,
+            spec=spec,
+            mutation_class="bit-flip",
+            attack={
+                "kind": "uid-corruption",
+                "name": f"bit-flip-{bit}",
+                "description": f"in-place flip of uid bit {bit} in every variant",
+                "corruption_kind": "bit-flip",
+                "payload": bit,
+            },
+            expectation=corruption_expectation(
+                masks, kind="bit-flip", payload=bit, byte_count=4
+            ),
+        )
+
+    builder.add(
+        family="uid",
+        scheme=scheme,
+        spec=spec,
+        mutation_class="in-place-partial",
+        attack={
+            "kind": "uid-corruption",
+            "name": "in-place-low-byte-zero",
+            "description": "in-place zero of the uid's low byte (no terminator)",
+            "corruption_kind": "partial-bytes",
+            "payload": 0,
+            "byte_count": 1,
+        },
+        expectation=corruption_expectation(
+            masks, kind="partial-bytes", payload=0, byte_count=1
+        ),
+    )
+
+
+def _address_attacks_for(builder: _MatrixBuilder, scheme_label: str, spec: SystemSpec) -> None:
+    scheme = address_scheme_for_spec(spec)
+    assert scheme is not None, spec.name
+
+    def inject(mutation_class: str, label: str, address: int) -> None:
+        builder.add(
+            family="address",
+            scheme=scheme_label,
+            spec=spec,
+            mutation_class=mutation_class,
+            attack={
+                "kind": "address-injection",
+                "name": f"inject-{label}-0x{address:08x}",
+                "description": f"complete pointer overwrite with 0x{address:08x} ({label})",
+                "address": address,
+            },
+            expectation=pointer_expectation(scheme, value=address),
+        )
+
+    inject("pointer-injection", "absolute", INJECTED_ABSOLUTE_ADDRESS)
+    inject("pointer-injection", "high", (0x80000000 | INJECTED_ABSOLUTE_ADDRESS))
+
+    last = spec.num_variants - 1
+    wanted = set(_BOUNDARY_LABELS) | {f"p{last}-last", f"p{last}-past"}
+    for boundary in boundary_values(scheme):
+        if boundary.label in wanted:
+            inject("boundary-address", boundary.label, boundary.value)
+
+    # Partial pointer overwrites: skipped for the slid keyed scheme, whose
+    # secret low-byte offsets make the surviving-read offsets diverge across
+    # variants (the oracle refuses to guess response divergence).
+    if scheme_label != "keyed-address":
+        for partial_bytes, value in POINTER_PARTIAL_WALK:
+            builder.add(
+                family="address",
+                scheme=scheme_label,
+                spec=spec,
+                mutation_class="pointer-partial",
+                attack={
+                    "kind": "pointer-partial",
+                    "name": f"pointer-partial-k{partial_bytes}-0x{value:08x}",
+                    "description": (
+                        f"overwrite the low {partial_bytes} byte(s) of the "
+                        f"banner pointer with 0x{value:08x}"
+                    ),
+                    "value": value,
+                    "partial_bytes": partial_bytes,
+                },
+                expectation=pointer_expectation(
+                    scheme, value=value, partial_bytes=partial_bytes
+                ),
+            )
+
+    builder.add(
+        family="address",
+        scheme=scheme_label,
+        spec=spec,
+        mutation_class="boundary-annotation",
+        attack={
+            "kind": "annotation",
+            "name": f"annotation-{ANNOTATION_BUFFER_SIZE - 1}",
+            "description": "largest in-bounds annotation (benign control)",
+            "length": ANNOTATION_BUFFER_SIZE - 1,
+            "path": traversal_path(),
+        },
+        expectation=annotation_expectation(
+            uid_masks_for_spec(spec), length=ANNOTATION_BUFFER_SIZE - 1
+        ),
+    )
+
+
+def _cross_family(builder: _MatrixBuilder) -> None:
+    """Each family's blind spot for the other family's values."""
+    address_spec = ADDRESS_PARTITIONING_SPEC
+    zero_masks = uid_masks_for_spec(address_spec)
+    builder.add(
+        family="cross",
+        scheme="high-bit",
+        spec=address_spec,
+        mutation_class="full-word",
+        attack={
+            "kind": "uid-overwrite",
+            "name": "uid-overwrite-0x00000000-k4",
+            "description": "full uid overwrite against an address-only system",
+            "uid": 0,
+            "partial_bytes": 4,
+        },
+        expectation=remote_uid_overwrite_expectation(zero_masks, uid=0, partial_bytes=4),
+    )
+    builder.add(
+        family="cross",
+        scheme="high-bit",
+        spec=address_spec,
+        mutation_class="off-by-one",
+        attack={
+            "kind": "annotation",
+            "name": f"annotation-{ANNOTATION_BUFFER_SIZE}",
+            "description": "terminator-only overrun against an address-only system",
+            "length": ANNOTATION_BUFFER_SIZE,
+            "path": traversal_path(),
+        },
+        expectation=annotation_expectation(zero_masks, length=ANNOTATION_BUFFER_SIZE),
+    )
+    # A pointer injection against the UID-only system: the pointer itself is
+    # valid in every (unpartitioned) variant, but the overflow's collateral
+    # zeroing of the gid/uid words diverges under the masks and is detected.
+    uid_spec = UID_DIVERSITY_SPEC
+    builder.add(
+        family="cross",
+        scheme="uid-xor",
+        spec=uid_spec,
+        mutation_class="pointer-injection",
+        attack={
+            "kind": "address-injection",
+            "name": f"inject-absolute-0x{INJECTED_ABSOLUTE_ADDRESS:08x}",
+            "description": "pointer injection against a uid-only system",
+            "address": INJECTED_ABSOLUTE_ADDRESS,
+        },
+        expectation=uid_span_expectation(
+            uid_masks_for_spec(uid_spec), span_bytes=4, value=0
+        ),
+    )
+
+
+def build_matrix(seed: int = DEFAULT_SEED) -> list[CorpusRecord]:
+    """The full scenario matrix for *seed*, in deterministic order."""
+    builder = _MatrixBuilder()
+    for scheme_label, spec in _uid_specs(seed):
+        _uid_attacks_for(builder, scheme_label, spec)
+    for scheme_label, spec in _address_specs(seed):
+        _address_attacks_for(builder, scheme_label, spec)
+    _cross_family(builder)
+    return builder.records
+
+
+def _trim(matrix: list[CorpusRecord], target: int) -> list[CorpusRecord]:
+    """Round-robin across mutation classes, preserving matrix order."""
+    by_class: dict[str, deque[int]] = {}
+    for index, record in enumerate(matrix):
+        by_class.setdefault(record.mutation_class, deque()).append(index)
+    queues = [by_class[name] for name in sorted(by_class)]
+    chosen: set[int] = set()
+    while len(chosen) < target:
+        progressed = False
+        for queue in queues:
+            if queue and len(chosen) < target:
+                chosen.add(queue.popleft())
+                progressed = True
+        if not progressed:
+            break
+    return [matrix[index] for index in sorted(chosen)]
+
+
+def generate_corpus(
+    seed: int = DEFAULT_SEED, *, records: int = DEFAULT_RECORDS
+) -> list[CorpusRecord]:
+    """Generate the corpus: at most *records* scenarios, purely from *seed*."""
+    if records < 1:
+        raise ValueError(f"a corpus needs at least one record, got {records}")
+    matrix = build_matrix(seed)
+    if records >= len(matrix):
+        return matrix
+    return _trim(matrix, records)
+
+
+def mutation_classes(records: Iterable[CorpusRecord]) -> list[str]:
+    """The distinct mutation classes present, sorted."""
+    return sorted({record.mutation_class for record in records})

@@ -1,0 +1,168 @@
+"""The scenario-record schema and corpus directory format.
+
+A corpus is a directory of single-record JSON files plus a ``manifest.json``
+naming the generator seed and the record order.  Records are pure data --
+the attack is a declarative description (:mod:`repro.corpus.runner` rebuilds
+the real payload objects from it), the system is a standard
+:class:`~repro.api.spec.SystemSpec` dict, and the expectation is a string
+the analytic oracle derived at generation time.  Keeping records fully
+serialized is what lets the process backend ship them to workers unchanged
+and lets two generator runs be compared byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Expected-outcome categories carried by every record.
+EXPECTED_DETECTED = "detected"
+EXPECTED_BENIGN = "benign"
+EXPECTED_EXEMPT = "guarantee-exempt"
+
+EXPECTED_CATEGORIES = frozenset(
+    {EXPECTED_DETECTED, EXPECTED_BENIGN, EXPECTED_EXEMPT}
+)
+
+#: Name of the corpus directory's index file.
+MANIFEST_NAME = "manifest.json"
+
+_REQUIRED_KEYS = frozenset(
+    {
+        "id",
+        "family",
+        "scheme",
+        "num_variants",
+        "mutation_class",
+        "attack",
+        "spec",
+        "expected",
+        "expected_kind",
+        "why",
+    }
+)
+
+
+class CorpusError(ValueError):
+    """A corpus file or record is malformed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CorpusRecord:
+    """One scenario: an attack, a system spec, and the analytic expectation.
+
+    ``expected`` is the guarantee category (:data:`EXPECTED_DETECTED`,
+    :data:`EXPECTED_BENIGN` or :data:`EXPECTED_EXEMPT`); ``expected_kind``
+    the exact :class:`~repro.attacks.outcomes.OutcomeKind` value the oracle
+    predicts; ``why`` the one-line derivation.
+    """
+
+    record_id: str
+    family: str
+    scheme: str
+    num_variants: int
+    mutation_class: str
+    attack: Mapping[str, Any]
+    spec: Mapping[str, Any]
+    expected: str
+    expected_kind: str
+    why: str
+
+    def __post_init__(self) -> None:
+        if self.expected not in EXPECTED_CATEGORIES:
+            raise CorpusError(
+                f"record {self.record_id!r}: unknown expected category "
+                f"{self.expected!r} (want one of {sorted(EXPECTED_CATEGORIES)})"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.record_id,
+            "family": self.family,
+            "scheme": self.scheme,
+            "num_variants": self.num_variants,
+            "mutation_class": self.mutation_class,
+            "attack": dict(self.attack),
+            "spec": dict(self.spec),
+            "expected": self.expected,
+            "expected_kind": self.expected_kind,
+            "why": self.why,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], *, source: str = "<record>") -> "CorpusRecord":
+        missing = _REQUIRED_KEYS - set(data)
+        if missing:
+            raise CorpusError(
+                f"{source}: record is missing keys {', '.join(sorted(missing))}"
+            )
+        return cls(
+            record_id=str(data["id"]),
+            family=str(data["family"]),
+            scheme=str(data["scheme"]),
+            num_variants=int(data["num_variants"]),
+            mutation_class=str(data["mutation_class"]),
+            attack=dict(data["attack"]),
+            spec=dict(data["spec"]),
+            expected=str(data["expected"]),
+            expected_kind=str(data["expected_kind"]),
+            why=str(data["why"]),
+        )
+
+
+def write_corpus(records: Iterable[CorpusRecord], out_dir: Path, *, seed: int) -> Path:
+    """Write *records* (one JSON file each) plus the manifest; returns the dir."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ids = []
+    for record in records:
+        path = out_dir / f"{record.record_id}.json"
+        path.write_text(record.to_json(), encoding="utf-8")
+        ids.append(record.record_id)
+    manifest = {"seed": seed, "count": len(ids), "records": ids}
+    (out_dir / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return out_dir
+
+
+def _load_json(path: Path) -> Any:
+    """Load one JSON file, folding every failure mode into CorpusError."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CorpusError(f"cannot read corpus file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise CorpusError(f"corpus file {path} is not valid UTF-8: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        # str(exc) carries "line L column C (char N)" -- keep it verbatim.
+        raise CorpusError(f"corpus file {path} is not valid JSON: {exc}") from exc
+
+
+def read_corpus(corpus_dir: Path) -> list[CorpusRecord]:
+    """Read a corpus directory back, in manifest order."""
+    corpus_dir = Path(corpus_dir)
+    manifest_path = corpus_dir / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise CorpusError(
+            f"{corpus_dir} has no {MANIFEST_NAME}; generate one with "
+            f"`python -m repro corpus generate --out {corpus_dir}`"
+        )
+    manifest = _load_json(manifest_path)
+    if not isinstance(manifest, Mapping) or "records" not in manifest:
+        raise CorpusError(f"{manifest_path}: manifest must be an object with 'records'")
+    records = []
+    for record_id in manifest["records"]:
+        path = corpus_dir / f"{record_id}.json"
+        data = _load_json(path)
+        if not isinstance(data, Mapping):
+            raise CorpusError(f"{path}: record must be a JSON object")
+        records.append(CorpusRecord.from_dict(data, source=str(path)))
+    return records

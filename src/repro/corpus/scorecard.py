@@ -1,0 +1,154 @@
+"""Grading: actual outcomes against analytic expectations.
+
+A record *passes* when the session produced exactly the
+:class:`~repro.attacks.outcomes.OutcomeKind` the oracle predicted --
+guarantee-exempt records included, which is the point: a mutation outside
+the guarantee must be *classified* as expected-undetected, not hidden
+behind a vague pass.  Rows aggregate per scheme x N x mutation class; the
+misses list carries every divergence verbatim (these are the
+"guarantee-edge misses" the experiment report surfaces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping, Sequence
+
+from repro.attacks.outcomes import OutcomeKind
+from repro.corpus.records import EXPECTED_EXEMPT, CorpusRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class ScorecardRow:
+    """Pass/fail counts for one scheme x N x mutation-class cell."""
+
+    scheme: str
+    num_variants: int
+    mutation_class: str
+    expected: str
+    total: int
+    passed: int
+
+    @property
+    def failed(self) -> int:
+        return self.total - self.passed
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "num_variants": self.num_variants,
+            "mutation_class": self.mutation_class,
+            "expected": self.expected,
+            "total": self.total,
+            "passed": self.passed,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Miss:
+    """One record whose actual outcome diverged from the oracle."""
+
+    record_id: str
+    scheme: str
+    num_variants: int
+    mutation_class: str
+    expected: str
+    expected_kind: str
+    actual_kind: str
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class Scorecard:
+    """The whole corpus run, graded."""
+
+    rows: tuple[ScorecardRow, ...]
+    misses: tuple[Miss, ...]
+    total: int
+    passed: int
+    exempt_total: int
+    exempt_undetected: int
+    exempt_compromises: int
+
+    @property
+    def all_pass(self) -> bool:
+        return self.passed == self.total and not self.misses
+
+    def to_dict(self) -> dict[str, Any]:
+        """Schema-stable rendering (the cross-backend equality comparand)."""
+        return {
+            "total": self.total,
+            "passed": self.passed,
+            "exempt": {
+                "total": self.exempt_total,
+                "undetected": self.exempt_undetected,
+                "compromises": self.exempt_compromises,
+            },
+            "rows": [row.to_dict() for row in self.rows],
+            "misses": [miss.to_dict() for miss in self.misses],
+        }
+
+
+def evaluate_corpus(
+    records: Sequence[CorpusRecord], outcomes: Sequence[Mapping[str, Any]]
+) -> Scorecard:
+    """Grade *outcomes* (from :func:`~repro.corpus.runner.run_corpus_records`)."""
+    if len(records) != len(outcomes):
+        raise ValueError(
+            f"{len(records)} records but {len(outcomes)} outcomes; "
+            f"grade the exact run"
+        )
+    cells: dict[tuple[str, int, str, str], list[int]] = {}
+    misses: list[Miss] = []
+    passed = exempt_total = exempt_undetected = exempt_compromises = 0
+    for record, outcome in zip(records, outcomes):
+        ok = outcome["kind"] == record.expected_kind
+        passed += ok
+        if record.expected == EXPECTED_EXEMPT:
+            exempt_total += 1
+            exempt_undetected += not outcome["detected"]
+            exempt_compromises += (
+                outcome["kind"] == OutcomeKind.UNDETECTED_COMPROMISE.value
+            )
+        key = (record.scheme, record.num_variants, record.mutation_class, record.expected)
+        cells.setdefault(key, [0, 0])
+        cells[key][0] += 1
+        cells[key][1] += ok
+        if not ok:
+            misses.append(
+                Miss(
+                    record_id=record.record_id,
+                    scheme=record.scheme,
+                    num_variants=record.num_variants,
+                    mutation_class=record.mutation_class,
+                    expected=record.expected,
+                    expected_kind=record.expected_kind,
+                    actual_kind=str(outcome["kind"]),
+                    detail=str(outcome.get("detail", "")),
+                )
+            )
+    rows = tuple(
+        ScorecardRow(
+            scheme=scheme,
+            num_variants=num_variants,
+            mutation_class=mutation_class,
+            expected=expected,
+            total=total,
+            passed=cell_passed,
+        )
+        for (scheme, num_variants, mutation_class, expected), (total, cell_passed) in sorted(
+            cells.items()
+        )
+    )
+    return Scorecard(
+        rows=rows,
+        misses=tuple(misses),
+        total=len(records),
+        passed=passed,
+        exempt_total=exempt_total,
+        exempt_undetected=exempt_undetected,
+        exempt_compromises=exempt_compromises,
+    )

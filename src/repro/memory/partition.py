@@ -63,6 +63,7 @@ lazily inside :meth:`PartitionScheme.reexpression`.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Callable, Optional
 
@@ -636,3 +637,74 @@ def create_scheme(kind: str, num_partitions: int, **params) -> PartitionScheme:
             f"{', '.join(scheme_kinds())}"
         ) from None
     return factory(num_partitions, **params)
+
+
+# ---------------------------------------------------------------------------
+# Boundary-value enumeration (the guarantee-edge corpus feeds on this)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class BoundaryValue:
+    """One concrete value at an edge of a scheme's guarantee.
+
+    ``partition`` is ``scheme.partition_of(value)`` at enumeration time:
+    the unique partition whose region contains the value, or ``None`` when
+    no partition claims it (every variant faults there).
+    """
+
+    label: str
+    value: int
+    partition: Optional[int]
+
+
+#: Edges of the 32-bit value space itself, shared by every scheme: zero, the
+#: largest signed-positive value (2^31 - 1), the sign bit, and the top.
+GLOBAL_EDGE_VALUES: tuple[tuple[str, int], ...] = (
+    ("zero", 0),
+    ("int31-max", UID_MASK_31),
+    ("sign-bit", 1 << (VALUE_BITS - 1)),
+    ("value-max", VALUE_MASK),
+)
+
+
+def boundary_values(scheme: PartitionScheme) -> tuple[BoundaryValue, ...]:
+    """Enumerate *scheme*'s guarantee-edge concrete values, deterministically.
+
+    For region-carving schemes this walks every partition's placement
+    boundary: the first and last concrete values the placement invariant
+    covers (``base_of(i)`` and ``base_of(i) + nominal_capacity - 1``) plus
+    the values one below and one past them -- the EFAULT edge, where
+    ``untranslate(i, value)`` lands outside ``[0, nominal_capacity)`` and a
+    dereference by variant *i* must fault.  Mask schemes do not carve the
+    space, so their edges are the masks themselves (each is some variant's
+    re-expression of zero).  The four global 32-bit edges (0, 2^31 - 1, the
+    sign bit, the all-ones value) are always appended.  Duplicate concrete
+    values keep their first label, so the result order is stable for a
+    given scheme configuration.
+    """
+    entries: list[BoundaryValue] = []
+    seen: set[int] = set()
+
+    def add(label: str, value: int) -> None:
+        value &= VALUE_MASK
+        if value in seen:
+            return
+        seen.add(value)
+        entries.append(BoundaryValue(label, value, scheme.partition_of(value)))
+
+    if scheme.carves_regions:
+        capacity = scheme.nominal_capacity
+        for index in range(scheme.num_partitions):
+            first = scheme.base_of(index)
+            last = (first + capacity - 1) & VALUE_MASK
+            add(f"p{index}-first", first)
+            add(f"p{index}-below", first - 1)
+            add(f"p{index}-last", last)
+            add(f"p{index}-past", last + 1)
+    else:
+        for index, mask in enumerate(getattr(scheme, "masks", ())):
+            add(f"p{index}-mask", mask)
+    for label, value in GLOBAL_EDGE_VALUES:
+        add(label, value)
+    return tuple(entries)

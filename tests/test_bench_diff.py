@@ -86,6 +86,30 @@ class TestMainGate:
         self._write(results, "demo", {"ok": False, "speedup": 4.05, "wall_seconds": 7.0})
         assert bench_diff.main(argv) == 1
 
+    def test_missing_baseline_names_file_and_regeneration_target(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        results = tmp_path / "results"
+        self._write(baseline, "old", {"ok": True})
+        self._write(results, "old", {"ok": True})
+        self._write(results, "fresh", {"ok": True, "cells": 3})
+        argv = ["--baseline", str(baseline), "--results", str(results), "--fail-on-flip"]
+        assert bench_diff.main(argv) == 0  # a new benchmark is not a flip
+        out = capsys.readouterr().out
+        assert "missing baseline file" in out
+        assert str(baseline / "BENCH_fresh.json") in out
+        assert "make bench-smoke" in out
+        assert "commit benchmarks/baseline/BENCH_fresh.json" in out
+
+    def test_missing_baseline_still_catches_born_failing_claims(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline"
+        results = tmp_path / "results"
+        baseline.mkdir()
+        self._write(results, "fresh", {"ok": False, "claims.holds": False})
+        argv = ["--baseline", str(baseline), "--results", str(results), "--fail-on-flip"]
+        assert bench_diff.main(argv) == 1
+        out = capsys.readouterr().out
+        assert "born failing" in out
+
     def test_negative_rtol_is_a_usage_error(self, tmp_path):
         with pytest.raises(SystemExit) as excinfo:
             bench_diff.main(["--rtol", "-1"])

@@ -37,6 +37,7 @@ from repro.api.spec import ExperimentSpec
 #: the PR-5 N-scaling sweep).
 EXPECTED_EXPERIMENTS = (
     "ablations",
+    "corpus",
     "detection",
     "entropy",
     "figure1",
@@ -56,6 +57,7 @@ FAST_PARAMS = {
     "ablations": {"user_space_uses": 3, "requests": 2},
     "nscaling": {"min_variants": 2, "max_variants": 3, "requests": 6},
     "entropy": {"max_variants": 3, "max_key_bits": 4, "trials": 20},
+    "corpus": {"records": 40, "workers": 4, "backend": "virtual"},
 }
 
 
