@@ -34,13 +34,13 @@ BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.p
 EXAMPLES := $(wildcard examples/*.py)
 
 .PHONY: test check check-parallel check-procs check-bench check-keyed \
-	check-corpus experiments-smoke bench bench-smoke bench-procpool-smoke \
-	bench-diff examples
+	check-corpus check-apps experiments-smoke bench bench-smoke \
+	bench-procpool-smoke bench-diff examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test experiments-smoke check-keyed check-corpus check-bench
+check: test experiments-smoke check-keyed check-corpus check-apps check-bench
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
@@ -96,6 +96,18 @@ check-corpus:
 	$(PYTHON) -m repro corpus generate --seed 20080625 --records 60 --out "$$dir" > /dev/null; \
 	$(PYTHON) -m repro experiment corpus --corpus-dir "$$dir" --set workers=4 > /dev/null
 	@echo "check-corpus ok: corpus suites + generated-corpus scorecard all-pass"
+
+# The second-workload gate: the interposition-table and fd-orbit unit suites,
+# the ftpd suite, the cross-app parity matrix, the fd-orbit slice of the
+# partition-scheme invariant sweep, then the apps experiment's claims (the
+# virtual-backend smoke) and one ftpd campaign scenario through the CLI.
+check-apps:
+	$(PYTHON) -m pytest -q tests/test_interpose.py tests/test_fdspace.py \
+		tests/test_apps_ftpd.py tests/test_cross_app_parity.py
+	$(PYTHON) -m pytest -q tests/test_partition_schemes.py -k "fd"
+	$(PYTHON) -m repro experiment apps --smoke > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/ftpd_campaign.json > /dev/null
+	@echo "check-apps ok: interposition + fd-orbit + ftpd suites, parity, apps smoke"
 
 # The benchmark trajectory gate: regenerate results/ in smoke mode (virtual-time
 # payloads are deterministic, so a clean tree reproduces the committed files),

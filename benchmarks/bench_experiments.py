@@ -143,6 +143,22 @@ def _check_corpus(result) -> None:
     assert list(result.scorecards) == ["virtual", "process"]
 
 
+def _check_apps(result) -> None:
+    claims = result.claim_results()
+    assert all(claims.values()), claims
+    assert result.all_claims_hold
+    # Both backends ran and reproduced identical matrices on both apps, the
+    # matrices agree across apps cell-for-cell, and the alarm telemetry names
+    # the interposed syscalls that raised the alarms.
+    assert result.backends == ("virtual", "process")
+    for backend in result.backends:
+        assert result.matrix("httpd", backend) == result.matrix("ftpd", backend)
+    assert result.alarm_breakdown
+    assert all(count > 0 for count in result.alarm_breakdown.values())
+    for measurements in result.measurements.values():
+        assert [m.num_variants for m in measurements] == [1, 2, 3]
+
+
 def _check_ablations(result) -> None:
     latency = result.detection_latency
     assert latency.with_detection_calls is not None
@@ -161,6 +177,7 @@ def _check_ablations(result) -> None:
 #: Structural assertions on the underlying result, by experiment name.  An
 #: experiment without an entry is still run and gated on its claims.
 EXTRA_CHECKS = {
+    "apps": _check_apps,
     "table1": _check_table1,
     "table2": _check_table2,
     "table3": _check_table3,

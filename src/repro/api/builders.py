@@ -67,6 +67,7 @@ def build_session(
         halt_on_alarm=spec.halt_on_alarm,
         max_rounds=spec.max_rounds,
         name=name if name is not None else spec.name,
+        interposition=spec.interposition,
     )
 
 
@@ -87,6 +88,7 @@ def build_system(
         halt_on_alarm=spec.halt_on_alarm,
         max_rounds=spec.max_rounds,
         name=name if name is not None else spec.name,
+        interposition=spec.interposition,
     )
 
 

@@ -99,17 +99,21 @@ class CampaignReport:
         return "\n".join(lines)
 
 
-def standard_attacks() -> list["Attack"]:
-    """Every attack in the library's standard suites (UID + address)."""
+def standard_attacks(app: str = "httpd") -> list["Attack"]:
+    """Every attack in the library's standard suites (UID + address).
+
+    The same attack classes exist against every registered serving app; *app*
+    selects whose wire format carries the payloads.
+    """
     from repro.attacks.memory_attacks import standard_address_attacks
     from repro.attacks.uid_attacks import standard_uid_attacks
 
-    return [*standard_uid_attacks(), *standard_address_attacks()]
+    return [*standard_uid_attacks(app), *standard_address_attacks(app)]
 
 
-def attacks_by_name() -> dict[str, "Attack"]:
+def attacks_by_name(app: str = "httpd") -> dict[str, "Attack"]:
     """Name -> attack for every standard attack (the CLI's selection space)."""
-    return {attack.name: attack for attack in standard_attacks()}
+    return {attack.name: attack for attack in standard_attacks(app)}
 
 
 def prepare_attack(attack: "Attack", spec: SystemSpec) -> "PreparedAttack":
@@ -158,7 +162,9 @@ def run_cell_payload(payload) -> dict:
     import time
 
     attack_name = payload["attack"]
-    known = attacks_by_name()
+    # The "app" key is omitted for the historical default so pre-existing
+    # payloads (and their recorded benchmark bytes) are unchanged.
+    known = attacks_by_name(payload.get("app", "httpd"))
     if attack_name not in known:
         raise ValueError(
             f"unknown attack {attack_name!r} in cell payload; known attacks: "
@@ -196,10 +202,13 @@ def process_campaign_jobs(
     silently running a different attack in the worker.
     """
     selected = list(attacks) if attacks is not None else standard_attacks()
-    known = attacks_by_name()
+    known_per_app: dict[str, dict] = {}
     jobs = []
     for attack in selected:
-        if known.get(attack.name) != attack:
+        app = getattr(attack, "app", "httpd")
+        if app not in known_per_app:
+            known_per_app[app] = attacks_by_name(app)
+        if known_per_app[app].get(attack.name) != attack:
             raise ValueError(
                 f"attack {attack.name!r} is not a standard library attack; the "
                 "process backend serializes cells by attack name, so custom "
@@ -207,6 +216,8 @@ def process_campaign_jobs(
             )
         for spec in specs:
             payload: dict = {"attack": attack.name, "spec": spec.to_dict()}
+            if app != "httpd":
+                payload["app"] = app
             if service_delay_ms:
                 payload["service_delay_ms"] = service_delay_ms
             jobs.append(

@@ -6,6 +6,7 @@ A scenario file is data, not code::
       "scenario": "campaign",                    // or "detection-matrix"
       "systems": [ ...SystemSpec dicts... ],     // default: the standard four
       "attacks": ["full-word-root-overwrite"],   // default: every standard attack
+      "app": "ftpd",                             // serving app (default: httpd)
       "parallelism": 8,                          // engine worker count
       "rounds_per_turn": 8,                      // lockstep rounds per turn
       "halt": "per-cell",                        // or "halt-campaign"
@@ -58,7 +59,9 @@ from repro.api.campaign import (
 )
 from repro.api.experiments import ExperimentRegistryError, experiments
 from repro.api.registry import VariationRegistryError, registry
+from repro.apps.catalog import UnknownAppError, get_app
 from repro.corpus.records import CorpusError
+from repro.interpose import InterpositionError
 from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
 from repro.engine.campaign import CampaignHaltPolicy
 from repro.engine.procpool import WorkerError
@@ -122,10 +125,20 @@ def _resolve_systems(data: Mapping[str, Any]) -> list[SystemSpec]:
     return specs
 
 
-def _resolve_attacks(data: Mapping[str, Any]) -> Optional[list]:
+def _resolve_app(data: Mapping[str, Any]) -> str:
+    """The serving app whose wire format carries the campaign's attacks."""
+    app = data.get("app", "httpd")
+    if not isinstance(app, str):
+        raise ScenarioError(f"app must be a string, got {app!r}")
+    get_app(app)  # unknown names raise UnknownAppError listing the registry
+    return app
+
+
+def _resolve_attacks(data: Mapping[str, Any], app: str = "httpd") -> Optional[list]:
+    known = attacks_by_name(app)
     if "attacks" not in data:
-        return None
-    known = attacks_by_name()
+        # The full standard suite, rendered on the selected app's wire format.
+        return list(known.values())
     selected = []
     for name in data["attacks"]:
         if name not in known:
@@ -239,7 +252,7 @@ def _run_campaign_scenario(
     campaign kind accepts (and reports) the engine scheduler's configuration.
     """
     specs = _resolve_systems(data)
-    attacks = _resolve_attacks(data)
+    attacks = _resolve_attacks(data, _resolve_app(data))
     with_execution = kind == "campaign"
     rounds_per_turn = _resolve_positive_int(data, "rounds_per_turn", 8)
     halt = data.get("halt", CampaignHaltPolicy.PER_CELL.value)
@@ -349,7 +362,7 @@ def _run_experiment_scenario(data: Mapping[str, Any], output: str) -> tuple[int,
 SCENARIO_RUNNERS = {
     "detection-matrix": (
         lambda data, output: _run_campaign_scenario(data, output, kind="detection-matrix"),
-        frozenset({"systems", "attacks", "parallelism"}),
+        frozenset({"systems", "attacks", "parallelism", "app"}),
         OUTPUT_FORMATS,
     ),
     "throughput": (_run_throughput, frozenset({"fleet"}), OUTPUT_FORMATS),
@@ -357,7 +370,7 @@ SCENARIO_RUNNERS = {
         lambda data, output: _run_campaign_scenario(data, output, kind="campaign"),
         frozenset(
             {"systems", "attacks", "parallelism", "rounds_per_turn", "halt", "backend",
-             "workers", "seed"}
+             "workers", "seed", "app"}
         ),
         OUTPUT_FORMATS,
     ),
@@ -701,7 +714,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=arguments.workers,
             seed=arguments.seed,
         )
-    except (ScenarioError, VariationRegistryError, ExperimentRegistryError, CorpusError) as exc:
+    except (
+        ScenarioError,
+        VariationRegistryError,
+        ExperimentRegistryError,
+        CorpusError,
+        InterpositionError,
+        UnknownAppError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except WorkerError as exc:

@@ -548,6 +548,25 @@ experiments.register(
     smoke_params={"records": 60, "workers": 4},
 )
 experiments.register(
+    "apps",
+    f"{_EXPERIMENTS}.apps:experiment",
+    description=(
+        "Cross-app generalisation: the detection matrix and benign workload "
+        "sweeps on httpd and ftpd under stacked fd+address+uid orbit "
+        "diversity at N in {2,3}, per campaign backend"
+    ),
+    parameters=(
+        ExperimentParameter(
+            "backend", str, "both", "execution tier: virtual, process, or both"
+        ),
+        ExperimentParameter("workers", int, 4, "campaign worker count per backend"),
+        ExperimentParameter(
+            "requests", int, 16, "benign requests per workload configuration"
+        ),
+    ),
+    smoke_params={"backend": "virtual", "requests": 8},
+)
+experiments.register(
     "ablations",
     f"{_EXPERIMENTS}.ablations:experiment",
     description="Design-choice ablations: detection calls, reexpression mask, unshared files",

@@ -27,6 +27,7 @@ from repro.core.variations.address import (
     OrbitAddressPartitioning,
 )
 from repro.core.variations.base import Variation
+from repro.core.variations.fdspace import FdOrbitVariation
 from repro.core.variations.instruction import InstructionSetTagging
 from repro.core.variations.uid import (
     FullFlipUIDVariation,
@@ -255,6 +256,16 @@ registry.register(
         "drawn from key_bits of entropy (optionally pinned by seed)"
     ),
     aliases=("keyed-address-partitioning",),
+)
+registry.register(
+    "fd-orbit",
+    FdOrbitVariation,
+    description=(
+        "File-descriptor orbit: variant i holds descriptors re-expressed into "
+        "the i-th top-bits slice, decoded ahead of the kernel, so an injected "
+        "concrete fd value diverges at first use"
+    ),
+    aliases=("fd-orbit-variation",),
 )
 registry.register(
     "instruction-tagging",

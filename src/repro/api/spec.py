@@ -175,12 +175,17 @@ class SystemSpec:
     transformed: bool = True
     halt_on_alarm: bool = True
     max_rounds: int = 2_000_000
+    interposition: str = "classic"
 
     def __post_init__(self) -> None:
         if self.num_variants < 1:
             raise ValueError(f"num_variants must be >= 1, got {self.num_variants}")
         if self.max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if not isinstance(self.interposition, str) or not self.interposition:
+            raise ValueError(
+                f"interposition must be a non-empty table name, got {self.interposition!r}"
+            )
         object.__setattr__(
             self,
             "variations",
@@ -199,12 +204,25 @@ class SystemSpec:
     # -- serialisation ---------------------------------------------------------
 
     _KEYS = frozenset(
-        {"name", "num_variants", "variations", "transformed", "halt_on_alarm", "max_rounds"}
+        {
+            "name",
+            "num_variants",
+            "variations",
+            "transformed",
+            "halt_on_alarm",
+            "max_rounds",
+            "interposition",
+        }
     )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready representation."""
-        return {
+        """JSON-ready representation.
+
+        The interposition table is emitted only when it differs from the
+        default ``"classic"``, so existing scenario files, corpus records
+        and benchmark payloads keep their exact historical shape.
+        """
+        data = {
             "name": self.name,
             "num_variants": self.num_variants,
             "variations": [v.to_dict() for v in self.variations],
@@ -212,6 +230,9 @@ class SystemSpec:
             "halt_on_alarm": self.halt_on_alarm,
             "max_rounds": self.max_rounds,
         }
+        if self.interposition != "classic":
+            data["interposition"] = self.interposition
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SystemSpec":

@@ -1,0 +1,125 @@
+"""Registry of serving applications the framework can protect.
+
+The attack library, the experiments and the CLI are application-independent:
+every app-specific detail -- which port the clients dial, how a benign
+request or an overflow payload is rendered on the wire, how a program
+factory is built -- lives in one :class:`ServingApp` record here.  Adding a
+third workload means registering one record, not touching the drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.apps.ftpd.server import make_ftpd_factory
+from repro.apps.httpd.server import make_httpd_factory
+from repro.attacks.payloads import (
+    banner_pointer_payload,
+    benign_request,
+    ftp_banner_pointer_payload,
+    ftp_benign_request,
+    ftp_uid_overwrite_payload,
+    uid_overwrite_payload,
+)
+from repro.kernel.host import FTP_DATA_PORT, FTP_PORT, HTTP_PORT, install_ftp_site
+from repro.kernel.kernel import SimulatedKernel
+
+
+class UnknownAppError(ValueError):
+    """Raised when a name does not match any registered serving app."""
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"unknown app {name!r}; registered apps: {', '.join(app_names())}"
+        )
+        self.name = name
+
+
+@dataclasses.dataclass(frozen=True)
+class ServingApp:
+    """Everything app-specific the app-independent drivers need.
+
+    ``connect`` queues one complete client conversation onto the kernel
+    (including any secondary channels -- the ftpd pre-connects its data
+    channel here); ``prepare_host`` installs app-specific host state on top
+    of the standard image.  The payload builders all return raw wire bytes
+    carrying the *same* overflow words across apps, because both servers
+    share one vulnerable state layout.
+    """
+
+    name: str
+    description: str
+    port: int
+    make_factory: Callable[..., Callable]
+    prepare_host: Callable[[SimulatedKernel], None]
+    connect: Callable[..., None]
+    benign_payload: Callable[..., bytes]
+    uid_overwrite: Callable[..., bytes]
+    pointer_overwrite: Callable[..., bytes]
+    #: A benign path distinct from the default, used as the "second request"
+    #: in drivers that must not re-trigger server-side caching effects.
+    alternate_path: str
+
+
+def _connect_httpd(kernel: SimulatedKernel, payload: bytes, *, client: str = "client") -> None:
+    kernel.client_connect(HTTP_PORT, payload, client=client)
+
+
+def _connect_ftpd(kernel: SimulatedKernel, payload: bytes, *, client: str = "client") -> None:
+    kernel.client_connect(FTP_PORT, payload, client=client)
+    # The paired data channel, pre-connected like a scripted PORT-mode client;
+    # the server accepts command and data connections in the same order.
+    kernel.client_connect(FTP_DATA_PORT, b"", client=f"{client}-data")
+
+
+HTTPD_APP = ServingApp(
+    name="httpd",
+    description="mini Apache: the paper's case-study web server",
+    port=HTTP_PORT,
+    make_factory=make_httpd_factory,
+    prepare_host=lambda kernel: None,
+    connect=_connect_httpd,
+    benign_payload=benign_request,
+    uid_overwrite=uid_overwrite_payload,
+    pointer_overwrite=banner_pointer_payload,
+    alternate_path="/news.html",
+)
+
+FTPD_APP = ServingApp(
+    name="ftpd",
+    description="mini wu-ftpd: command/data-channel file server",
+    port=FTP_PORT,
+    make_factory=make_ftpd_factory,
+    prepare_host=lambda kernel: install_ftp_site(kernel.fs),
+    connect=_connect_ftpd,
+    benign_payload=ftp_benign_request,
+    uid_overwrite=ftp_uid_overwrite_payload,
+    pointer_overwrite=ftp_banner_pointer_payload,
+    alternate_path="/pub/readme.txt",
+)
+
+_APPS: dict[str, ServingApp] = {}
+
+
+def register_app(app: ServingApp) -> ServingApp:
+    """Register *app* under its name (replacing any previous registration)."""
+    _APPS[app.name] = app
+    return app
+
+
+def get_app(name: str) -> ServingApp:
+    """Look up a registered app; raises :class:`UnknownAppError` otherwise."""
+    try:
+        return _APPS[name]
+    except KeyError:
+        raise UnknownAppError(name) from None
+
+
+def app_names() -> list[str]:
+    """Registered app names, sorted."""
+    return sorted(_APPS)
+
+
+register_app(HTTPD_APP)
+register_app(FTPD_APP)

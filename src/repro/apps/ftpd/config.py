@@ -1,0 +1,88 @@
+"""Server configuration: a miniature ``ftpd.conf``.
+
+Same shape as :mod:`repro.apps.httpd.config`: the directives that matter are
+``User``/``Group`` (the account the server drops to per transfer) and the log
+paths whose root-only ownership makes privilege handling observable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.kernel.host import (
+    FTP_DATA_PORT,
+    FTP_ERROR_LOG,
+    FTP_PORT,
+    FTP_ROOT,
+    FTP_TRANSFER_LOG,
+)
+
+
+@dataclasses.dataclass
+class FtpConfig:
+    """Parsed ftpd configuration."""
+
+    listen_port: int = FTP_PORT
+    data_port: int = FTP_DATA_PORT
+    user: str = "daemon"
+    group: str = "daemon"
+    ftp_root: str = FTP_ROOT
+    error_log: str = FTP_ERROR_LOG
+    transfer_log: str = FTP_TRANSFER_LOG
+    admin_user: str = "root"
+    max_command_size: int = 8192
+
+    def validate(self) -> None:
+        """Sanity-check the configuration values."""
+        for label, port in (("Listen", self.listen_port), ("DataPort", self.data_port)):
+            if not 0 < port < 65536:
+                raise ValueError(f"invalid {label} port {port}")
+        if self.listen_port == self.data_port:
+            raise ValueError("command and data ports must differ")
+        if not self.ftp_root.startswith("/"):
+            raise ValueError("FtpRoot must be an absolute path")
+        if not self.user:
+            raise ValueError("User directive must not be empty")
+        if not self.group:
+            raise ValueError("Group directive must not be empty")
+
+
+#: Directive name -> (attribute, parser)
+_DIRECTIVES = {
+    "listen": ("listen_port", int),
+    "dataport": ("data_port", int),
+    "user": ("user", str),
+    "group": ("group", str),
+    "ftproot": ("ftp_root", str),
+    "errorlog": ("error_log", str),
+    "transferlog": ("transfer_log", str),
+    "adminuser": ("admin_user", str),
+    "maxcommandsize": ("max_command_size", int),
+}
+
+
+def parse_ftp_config(text: str) -> FtpConfig:
+    """Parse ``ftpd.conf`` contents into an :class:`FtpConfig`.
+
+    Unknown directives are ignored; malformed values raise ``ValueError`` so
+    misconfiguration surfaces at startup rather than at privilege-drop time.
+    """
+    config = FtpConfig()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed directive on line {line_number}: {raw_line!r}")
+        directive, value = parts[0].lower(), parts[1].strip()
+        entry = _DIRECTIVES.get(directive)
+        if entry is None:
+            continue
+        attribute, parser = entry
+        try:
+            setattr(config, attribute, parser(value))
+        except ValueError as error:
+            raise ValueError(f"bad value for {parts[0]} on line {line_number}: {error}") from error
+    config.validate()
+    return config

@@ -21,11 +21,13 @@ import dataclasses
 
 from repro.api.builders import build_session
 from repro.api.spec import ADDRESS_PARTITIONING_SPEC, SINGLE_PROCESS_SPEC, SystemSpec
-from repro.apps.httpd.server import make_httpd_factory
+# Module (not name) import: repro.apps.catalog imports the payload builders
+# from this package, so binding the module and resolving get_app at call time
+# keeps the import order working from either end of the cycle.
+from repro.apps import catalog as _catalog
 from repro.apps.httpd.vulnerable import BANNER_REGION_BASE
 from repro.attacks.outcomes import AttackOutcome, PreparedAttack, classify
-from repro.attacks.payloads import banner_pointer_payload, benign_request
-from repro.kernel.host import HTTP_PORT, build_standard_host
+from repro.kernel.host import build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 
 #: An absolute address the attacker aims the banner pointer at: it lies in
@@ -41,33 +43,41 @@ class AddressInjectionAttack:
     name: str
     description: str
     address: int
+    #: Which registered serving app carries the overflow on its wire format.
+    app: str = "httpd"
 
     def payload(self) -> bytes:
         """The corrupting request (a later benign request triggers the use)."""
-        return banner_pointer_payload(self.address)
+        return _catalog.get_app(self.app).pointer_overwrite(self.address)
 
 
-def standard_address_attacks() -> list[AddressInjectionAttack]:
+def standard_address_attacks(app: str = "httpd") -> list[AddressInjectionAttack]:
     """The address-injection attacks used by the Figure 1 experiment."""
     return [
         AddressInjectionAttack(
             name="absolute-address-injection",
             description="complete pointer overwrite with an absolute address",
             address=INJECTED_ABSOLUTE_ADDRESS,
+            app=app,
         ),
         AddressInjectionAttack(
             name="high-partition-address-injection",
             description="pointer aimed into the high partition (valid only in variant 1)",
             address=0x80000000 | INJECTED_ABSOLUTE_ADDRESS,
+            app=app,
         ),
     ]
 
 
-def _connect_attack_traffic(kernel: SimulatedKernel, attack: AddressInjectionAttack) -> None:
-    """Queue the Figure 1 request sequence: warm up, corrupt, trigger the use."""
-    kernel.client_connect(HTTP_PORT, benign_request())
-    kernel.client_connect(HTTP_PORT, attack.payload(), client="attacker")
-    kernel.client_connect(HTTP_PORT, benign_request("/news.html"), client="attacker")
+def _prepare_attack_host(attack: AddressInjectionAttack) -> SimulatedKernel:
+    """Build the host and queue the Figure 1 sequence: warm up, corrupt, trigger."""
+    serving = _catalog.get_app(attack.app)
+    kernel = build_standard_host()
+    serving.prepare_host(kernel)
+    serving.connect(kernel, serving.benign_payload())
+    serving.connect(kernel, attack.payload(), client="attacker")
+    serving.connect(kernel, serving.benign_payload(serving.alternate_path), client="attacker")
+    return kernel
 
 
 def prepare_address_attack_single(
@@ -76,10 +86,10 @@ def prepare_address_attack_single(
     """Prepare the attack against the single-process server (an N=1 session)."""
 
     def start():
-        kernel = build_standard_host()
-        _connect_attack_traffic(kernel, attack)
-        factory = make_httpd_factory(transformed=False, max_requests=3)
-        return build_session(SINGLE_PROCESS_SPEC, kernel, factory, name="httpd")
+        kernel = _prepare_attack_host(attack)
+        serving = _catalog.get_app(attack.app)
+        factory = serving.make_factory(transformed=False, max_requests=3)
+        return build_session(SINGLE_PROCESS_SPEC, kernel, factory, name=serving.name)
 
     def finish(session) -> AttackOutcome:
         variant = session.result().variants[0]
@@ -120,10 +130,10 @@ def prepare_address_attack_nvariant(
     """
 
     def start():
-        kernel = build_standard_host()
-        _connect_attack_traffic(kernel, attack)
-        factory = make_httpd_factory(transformed=spec.transformed, max_requests=3)
-        return build_session(spec, kernel, factory, name="httpd")
+        kernel = _prepare_attack_host(attack)
+        serving = _catalog.get_app(attack.app)
+        factory = serving.make_factory(transformed=spec.transformed, max_requests=3)
+        return build_session(spec, kernel, factory, name=serving.name)
 
     def finish(session) -> AttackOutcome:
         result = session.result()

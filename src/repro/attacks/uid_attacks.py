@@ -33,11 +33,14 @@ from typing import Optional
 
 from repro.api.builders import build_session
 from repro.api.spec import SINGLE_PROCESS_SPEC, SystemSpec, UID_DIVERSITY_SPEC
-from repro.apps.httpd.server import make_httpd_factory
+# Module (not name) import: repro.apps.catalog imports the payload builders
+# from repro.attacks, so binding the module and resolving get_app at call
+# time keeps the import order working from either end of the cycle.
+from repro.apps import catalog as _catalog
 from repro.attacks.outcomes import AttackOutcome, OutcomeKind, PreparedAttack, classify
-from repro.attacks.payloads import benign_request, traversal_path, uid_overwrite_payload
+from repro.attacks.payloads import traversal_path
 from repro.core.nvariant import UIDCodec, VariantContext
-from repro.kernel.host import HTTP_PORT, build_standard_host
+from repro.kernel.host import build_standard_host
 from repro.kernel.kernel import SimulatedKernel
 from repro.memory.corruption import CorruptionSpec
 
@@ -60,6 +63,10 @@ class UIDAttack:
     payload: Optional[bytes] = None
     corruption: Optional[CorruptionSpec] = None
     goal_marker: bytes = SHADOW_MARKER
+    #: Which registered serving app the payload targets (and whose drivers
+    #: host the attack).  In-place corruptions ignore the wire format but
+    #: keep the field so campaign rows group per app.
+    app: str = "httpd"
 
     def __post_init__(self) -> None:
         if (self.payload is None) == (self.corruption is None):
@@ -71,34 +78,45 @@ class UIDAttack:
         return self.payload is not None
 
 
-def standard_uid_attacks() -> list[UIDAttack]:
-    """The attack suite used by the detection-matrix experiment."""
+def standard_uid_attacks(app: str = "httpd") -> list[UIDAttack]:
+    """The attack suite used by the detection-matrix experiment.
+
+    The same seven attack classes exist against every registered serving app;
+    only the wire carrier of the overflow differs (both servers share one
+    vulnerable state layout, so the overflow words are identical).
+    """
+    serving = _catalog.get_app(app)
     return [
         UIDAttack(
             name="full-word-root-overwrite",
             description="overflow overwrites worker_uid with 0 (root); complete value",
-            payload=uid_overwrite_payload(0),
+            payload=serving.uid_overwrite(0),
+            app=app,
         ),
         UIDAttack(
             name="full-word-user-overwrite",
             description="overflow overwrites worker_uid with 1000 (masquerade as alice)",
-            payload=uid_overwrite_payload(1000, path="/../../../home/alice/diary.txt"),
+            payload=serving.uid_overwrite(1000, path=traversal_path("/home/alice/diary.txt")),
             goal_marker=b"alice's private notes",
+            app=app,
         ),
         UIDAttack(
             name="partial-1-byte-overwrite",
             description="overflow rewrites only the low byte of worker_uid",
-            payload=uid_overwrite_payload(0, partial_bytes=1),
+            payload=serving.uid_overwrite(0, partial_bytes=1),
+            app=app,
         ),
         UIDAttack(
             name="partial-2-byte-overwrite",
             description="overflow rewrites the low two bytes of worker_uid",
-            payload=uid_overwrite_payload(0, partial_bytes=2),
+            payload=serving.uid_overwrite(0, partial_bytes=2),
+            app=app,
         ),
         UIDAttack(
             name="partial-3-byte-overwrite",
             description="overflow rewrites the low three bytes of worker_uid",
-            payload=uid_overwrite_payload(0, partial_bytes=3),
+            payload=serving.uid_overwrite(0, partial_bytes=3),
+            app=app,
         ),
         UIDAttack(
             name="low-bit-flip",
@@ -108,6 +126,7 @@ def standard_uid_attacks() -> list[UIDAttack]:
                 "paper places it outside the remote-attacker guarantee)"
             ),
             corruption=CorruptionSpec(kind="bit-flip", payload=0),
+            app=app,
         ),
         UIDAttack(
             name="high-bit-flip",
@@ -118,18 +137,40 @@ def standard_uid_attacks() -> list[UIDAttack]:
                 "kernel treats specially"
             ),
             corruption=CorruptionSpec(kind="bit-flip", payload=31),
+            app=app,
         ),
     ]
 
 
 # ---------------------------------------------------------------------------
-# Remote (HTTP-delivered) attacks against the mini-httpd
+# Remote (request-channel-delivered) attacks against a registered serving app
 # ---------------------------------------------------------------------------
 
 
 def _attack_goal_reached(kernel: SimulatedKernel, marker: bytes = SHADOW_MARKER) -> bool:
-    """True when any response leaked the attack's protected target content."""
+    """True when any response leaked the attack's protected target content.
+
+    Deliberately app-agnostic: the scan covers every connection ever made on
+    the host, so leaked content is found whether it travelled on an HTTP
+    response or on an FTP data channel.
+    """
     return any(marker in conn.response_bytes() for conn in kernel.network.connections)
+
+
+def _prepare_remote_host(attack: UIDAttack, *, warmup_requests: int):
+    """Build the attacked host: app state, warmup traffic, the attack itself.
+
+    Returns ``(kernel, serving app)``; the caller builds the server factory
+    and session.  All app specifics (extra host files, secondary channels,
+    benign payload shape) come from the catalog entry.
+    """
+    serving = _catalog.get_app(attack.app)
+    kernel = build_standard_host()
+    serving.prepare_host(kernel)
+    for _ in range(warmup_requests):
+        serving.connect(kernel, serving.benign_payload())
+    serving.connect(kernel, attack.payload, client="attacker")
+    return kernel, serving
 
 
 def prepare_remote_attack_single(
@@ -151,15 +192,12 @@ def prepare_remote_attack_single(
         configuration = "single-process" + ("-transformed" if transformed else "")
 
     def start():
-        kernel = build_standard_host()
-        for _ in range(warmup_requests):
-            kernel.client_connect(HTTP_PORT, benign_request())
-        kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
-        factory = make_httpd_factory(
+        kernel, serving = _prepare_remote_host(attack, warmup_requests=warmup_requests)
+        factory = serving.make_factory(
             transformed=transformed, max_requests=warmup_requests + 1
         )
         spec = dataclasses.replace(SINGLE_PROCESS_SPEC, transformed=transformed)
-        return build_session(spec, kernel, factory, name="httpd")
+        return build_session(spec, kernel, factory, name=serving.name)
 
     def finish(session) -> AttackOutcome:
         result = session.result()
@@ -206,14 +244,11 @@ def prepare_remote_attack_nvariant(
         raise ValueError(f"{attack.name} is not a remote attack")
 
     def start():
-        kernel = build_standard_host()
-        for _ in range(warmup_requests):
-            kernel.client_connect(HTTP_PORT, benign_request())
-        kernel.client_connect(HTTP_PORT, attack.payload, client="attacker")
-        factory = make_httpd_factory(
+        kernel, serving = _prepare_remote_host(attack, warmup_requests=warmup_requests)
+        factory = serving.make_factory(
             transformed=spec.transformed, max_requests=warmup_requests + 1
         )
-        return build_session(spec, kernel, factory, name="httpd")
+        return build_session(spec, kernel, factory, name=serving.name)
 
     def finish(session) -> AttackOutcome:
         result = session.result()

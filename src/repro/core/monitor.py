@@ -25,40 +25,61 @@ import dataclasses
 from typing import Optional, Sequence
 
 from repro.core.alarm import Alarm, AlarmType
+from repro.interpose import CLASSIC_TABLE, InterpositionTable
 from repro.kernel.errors import VariantFault
-from repro.kernel.syscalls import (
-    DETECTION_SYSCALLS,
-    Syscall,
-    SyscallRequest,
-    UID_COMPARISON_SYSCALLS,
-    UID_PARAMETER_SYSCALLS,
-)
+from repro.kernel.syscalls import Syscall, SyscallRequest
+
+# Re-exported for backwards compatibility: the classification families now
+# live on the interposition table, and these module names are views of the
+# classic table's derived sets (identical by construction).
+DETECTION_SYSCALLS = CLASSIC_TABLE.detection_syscalls
+UID_COMPARISON_SYSCALLS = CLASSIC_TABLE.uid_comparison_syscalls
+UID_PARAMETER_SYSCALLS = CLASSIC_TABLE.uid_parameter_syscalls
 
 
 @dataclasses.dataclass
 class MonitorStats:
-    """Counters describing how much checking the monitor performed."""
+    """Counters describing how much checking the monitor performed.
+
+    ``alarm_breakdown`` maps syscall name (or alarm-type value for alarms
+    without a syscall, e.g. variant faults) to the number of alarms raised
+    there -- the per-syscall divergence breakdown experiment telemetry
+    surfaces.
+    """
 
     lockstep_points: int = 0
     syscalls_compared: int = 0
     detection_calls_checked: int = 0
     alarms_raised: int = 0
     fast_path_rounds: int = 0
+    alarm_breakdown: dict[str, int] = dataclasses.field(default_factory=dict)
 
     def reset(self) -> None:
         """Zero every counter (fresh accounting for a new run).
 
         Structural on purpose: a counter added to the dataclass can never be
-        forgotten here and survive a reset.
+        forgotten here and survive a reset.  Fields with a default factory
+        (the breakdown dict) reset to a fresh instance of it.
         """
         for field in dataclasses.fields(self):
-            setattr(self, field.name, 0)
+            if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                setattr(self, field.name, field.default_factory())  # type: ignore[misc]
+            else:
+                setattr(self, field.name, 0)
 
 
 class Monitor:
-    """Compares canonicalized variant behaviour and records alarms."""
+    """Compares canonicalized variant behaviour and records alarms.
 
-    def __init__(self) -> None:
+    Classification families (detection calls, UID parameters and
+    comparisons, output-tagged calls) come from the active
+    :class:`~repro.interpose.InterpositionTable`; the default is the
+    ``"classic"`` table, which reproduces the historical frozen-set
+    behaviour exactly.
+    """
+
+    def __init__(self, table: InterpositionTable | None = None) -> None:
+        self.table = table if table is not None else CLASSIC_TABLE
         self.alarms: list[Alarm] = []
         self.stats = MonitorStats()
 
@@ -81,6 +102,9 @@ class Monitor:
     def _record(self, alarm: Alarm) -> Alarm:
         self.alarms.append(alarm)
         self.stats.alarms_raised += 1
+        key = alarm.syscall if alarm.syscall else alarm.alarm_type.value
+        breakdown = self.stats.alarm_breakdown
+        breakdown[key] = breakdown.get(key, 0) + 1
         return alarm
 
     # -- syscall comparison ------------------------------------------------------
@@ -112,7 +136,7 @@ class Monitor:
             )
 
         name = canonical_requests[0].name
-        if name in DETECTION_SYSCALLS:
+        if name in self.table.detection_syscalls:
             self.stats.detection_calls_checked += 1
 
         args = [request.args for request in canonical_requests]
@@ -130,24 +154,26 @@ class Monitor:
             )
         )
 
-    @staticmethod
-    def _classify_argument_mismatch(name: Syscall) -> AlarmType:
+    def _classify_argument_mismatch(self, name: Syscall) -> AlarmType:
         if name is Syscall.COND_CHK:
             return AlarmType.CONTROL_FLOW_DIVERGENCE
-        if name is Syscall.UID_VALUE or name in UID_COMPARISON_SYSCALLS:
+        if name is Syscall.UID_VALUE or name in self.table.uid_comparison_syscalls:
             return AlarmType.UID_DIVERGENCE
-        if name in UID_PARAMETER_SYSCALLS:
+        if name in self.table.uid_parameter_syscalls:
             return AlarmType.UID_DIVERGENCE
+        if name in self.table.output_syscalls:
+            return AlarmType.OUTPUT_MISMATCH
         return AlarmType.ARGUMENT_MISMATCH
 
-    @staticmethod
-    def _mismatch_description(name: Syscall) -> str:
+    def _mismatch_description(self, name: Syscall) -> str:
         if name is Syscall.COND_CHK:
             return "variants evaluated a UID-dependent condition differently"
-        if name is Syscall.UID_VALUE or name in UID_COMPARISON_SYSCALLS:
+        if name is Syscall.UID_VALUE or name in self.table.uid_comparison_syscalls:
             return "variants observed non-equivalent UID values"
-        if name in UID_PARAMETER_SYSCALLS:
+        if name in self.table.uid_parameter_syscalls:
             return "variants passed non-equivalent UIDs to a credential call"
+        if name in self.table.output_syscalls:
+            return "variants attempted divergent externally-visible behaviour"
         return "variants passed non-equivalent arguments"
 
     # -- faults and lifecycle -------------------------------------------------------
@@ -225,9 +251,16 @@ class SyscallComparator:
     never depends on the declaration being present -- only speed does.
     """
 
-    def __init__(self, variations: "VariationStack", monitor: Monitor):
+    def __init__(
+        self,
+        variations: "VariationStack",
+        monitor: Monitor,
+        table: InterpositionTable | None = None,
+    ):
         self.variations = variations
         self.monitor = monitor
+        self.table = table if table is not None else monitor.table
+        self._detection = self.table.detection_syscalls
         self._canonical_affected = variations.canonical_syscalls()
         self._transform_affected = variations.transform_syscalls()
 
@@ -254,7 +287,7 @@ class SyscallComparator:
                     stats.lockstep_points += 1
                     stats.syscalls_compared += len(requests)
                     stats.fast_path_rounds += 1
-                    if first.name in DETECTION_SYSCALLS:
+                    if first.name in self._detection:
                         stats.detection_calls_checked += 1
                     return None
             # A divergence (or mixed names): fall through to the slow path so

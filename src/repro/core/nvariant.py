@@ -166,6 +166,7 @@ class NVariantSystem:
         halt_on_alarm: bool = True,
         max_rounds: int = 2_000_000,
         name: str = "nvariant",
+        interposition: str = "classic",
     ):
         # Deferred import: repro.engine.session imports this module for the
         # shared context/result dataclasses.
@@ -179,6 +180,7 @@ class NVariantSystem:
             halt_on_alarm=halt_on_alarm,
             max_rounds=max_rounds,
             name=name,
+            interposition=interposition,
         )
         self.kernel = kernel
         self.program_factory = program_factory

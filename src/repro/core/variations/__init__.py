@@ -27,6 +27,7 @@ from repro.core.variations.address import (
     OrbitAddressPartitioning,
 )
 from repro.core.variations.base import Variation, VariationStack
+from repro.core.variations.fdspace import FdOrbitVariation
 from repro.core.variations.instruction import InstructionSetTagging
 from repro.core.variations.uid import (
     FullFlipUIDVariation,
@@ -48,6 +49,7 @@ TABLE1_VARIATIONS = (
 __all__ = [
     "AddressPartitioning",
     "ExtendedAddressPartitioning",
+    "FdOrbitVariation",
     "FullFlipUIDVariation",
     "InstructionSetTagging",
     "KeyedAddressPartitioning",

@@ -27,37 +27,17 @@ from __future__ import annotations
 import dataclasses
 from typing import Sequence
 
+from repro.interpose import CLASSIC_TABLE, InterpositionTable, PolicyKind
+from repro.kernel.errors import Errno
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.process import Process
-from repro.kernel.syscalls import (
-    INPUT_SYSCALLS,
-    OUTPUT_SYSCALLS,
-    Syscall,
-    SyscallRequest,
-    SyscallResult,
-)
+from repro.kernel.syscalls import Syscall, SyscallRequest, SyscallResult
 
-#: Calls whose first argument is a file descriptor.
-FD_SYSCALLS = frozenset(
-    {
-        Syscall.READ,
-        Syscall.WRITE,
-        Syscall.LSEEK,
-        Syscall.FSTAT,
-        Syscall.CLOSE,
-        Syscall.RECV,
-        Syscall.SEND,
-        Syscall.SHUTDOWN,
-        Syscall.BIND,
-        Syscall.LISTEN,
-    }
-)
-
-#: Calls that create a new descriptor and must keep variant tables aligned.
-DESCRIPTOR_CREATING_SYSCALLS = frozenset({Syscall.SOCKET, Syscall.ACCEPT})
-
-#: Non-descriptor calls that are nevertheless executed once and replicated so
-#: every variant observes identical values.
+# Backwards-compatible views of the classic interposition table's derived
+# sets (identical to the historical frozen constants by construction); the
+# wrapper itself dispatches on its *active* table, not on these.
+FD_SYSCALLS = CLASSIC_TABLE.fd_syscalls
+DESCRIPTOR_CREATING_SYSCALLS = CLASSIC_TABLE.descriptor_creating_syscalls
 REPLICATED_SYSCALLS = frozenset(
     {Syscall.TIME, Syscall.GETRANDOM, Syscall.GETDENTS, Syscall.GETPID}
 )
@@ -110,20 +90,32 @@ class WrapperStats:
     per_variant_calls: int = 0
     unshared_opens: int = 0
     checks: int = 0
+    denied_calls: int = 0
 
 
 class SyscallWrappers:
-    """Executes one lockstep round of equivalent requests."""
+    """Executes one lockstep round of equivalent requests.
+
+    *How* each round executes is decided by the active
+    :class:`~repro.interpose.InterpositionTable` (default ``"classic"``,
+    reproducing the historical dispatch exactly): denied calls are refused
+    before the kernel is entered, descriptor-creating and fd-carrying calls
+    go through the shared/unshared descriptor machinery, replicated calls
+    run once on behalf of all variants, and everything else fans out per
+    variant.
+    """
 
     def __init__(
         self,
         kernel: SimulatedKernel,
         processes: Sequence[Process],
         registry: UnsharedFileRegistry | None = None,
+        table: InterpositionTable | None = None,
     ):
         self.kernel = kernel
         self.processes = list(processes)
         self.registry = registry if registry is not None else UnsharedFileRegistry(len(processes))
+        self.table = table if table is not None else CLASSIC_TABLE
         self.stats = WrapperStats()
         self._unshared_fds: set[int] = set()
 
@@ -135,14 +127,17 @@ class SyscallWrappers:
             raise ValueError("one request per variant is required")
         self.stats.checks += 1
         name = requests[0].name
+        entry = self.table.entry(name)
 
+        if entry.policy is PolicyKind.DENY:
+            return self._execute_deny(requests)
         if name is Syscall.OPEN:
             return self._execute_open(requests)
-        if name in DESCRIPTOR_CREATING_SYSCALLS:
+        if entry.creates_fd:
             return self._execute_descriptor_creating(requests)
-        if name in FD_SYSCALLS:
+        if entry.fd_arg:
             return self._execute_fd_call(requests)
-        if name in INPUT_SYSCALLS or name in OUTPUT_SYSCALLS or name in REPLICATED_SYSCALLS:
+        if entry.policy is PolicyKind.REPLICATE:
             return self._execute_once(requests)
         return self._execute_per_variant(requests)
 
@@ -151,6 +146,17 @@ class SyscallWrappers:
         return fd in self._unshared_fds
 
     # -- strategies ----------------------------------------------------------------
+
+    def _execute_deny(self, requests: Sequence[SyscallRequest]) -> list[SyscallResult]:
+        """Refuse the call uniformly, without ever entering the kernel.
+
+        Every variant observes the same ``EPERM``, so a denied call is not
+        itself a divergence source -- it just removes the syscall from the
+        attack surface (the wide table's treatment of ``fork``/``waitpid``).
+        """
+        self.stats.denied_calls += 1
+        result = SyscallResult.failure(Errno.EPERM)
+        return [result for _ in self.processes]
 
     def _execute_once(self, requests: Sequence[SyscallRequest]) -> list[SyscallResult]:
         """Variant 0 performs the call; all variants receive the result."""

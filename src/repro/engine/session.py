@@ -27,6 +27,7 @@ from repro.core.alarm import AlarmType
 from repro.core.monitor import Monitor, SyscallComparator
 from repro.core.variations.base import Variation, VariationStack
 from repro.core.wrappers import SyscallWrappers, UnsharedFileRegistry
+from repro.interpose import get_table
 from repro.kernel.errors import VariantFault
 from repro.kernel.kernel import SimulatedKernel
 from repro.kernel.libc import Libc
@@ -79,6 +80,7 @@ class NVariantSession:
         halt_on_alarm: bool = True,
         max_rounds: int = 2_000_000,
         name: str = "session",
+        interposition: str = "classic",
     ):
         # Imported here (not at module top) because repro.core.nvariant is the
         # backwards-compatible facade over this module and imports it lazily;
@@ -92,7 +94,9 @@ class NVariantSession:
         self.halt_on_alarm = halt_on_alarm
         self.max_rounds = max_rounds
         self.name = name
-        self.monitor = Monitor()
+        self.interposition = interposition
+        self.table = get_table(interposition)
+        self.monitor = Monitor(table=self.table)
         self.comparator = SyscallComparator(self.variations, self.monitor)
         self.rounds = 0
         self.state = SessionState.RUNNING
@@ -126,7 +130,9 @@ class NVariantSession:
                     uid_codec=self._build_codec(index),
                 )
             )
-        self.wrappers = SyscallWrappers(self.kernel, processes, self._unshared_registry)
+        self.wrappers = SyscallWrappers(
+            self.kernel, processes, self._unshared_registry, table=self.table
+        )
         self._runtimes = [
             _VariantRuntime(context=context, program=self.program_factory(context))
             for context in self._contexts
@@ -156,7 +162,7 @@ class NVariantSession:
         for context in self._contexts:
             if context.process.alive:
                 context.process.exit(0)
-        self.monitor = Monitor()
+        self.monitor = Monitor(table=self.table)
         self.comparator = SyscallComparator(self.variations, self.monitor)
         self.rounds = 0
         self._ticks_consumed = 0

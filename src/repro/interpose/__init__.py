@@ -1,0 +1,38 @@
+"""Syscall-table interposition: named, data-driven monitoring policies.
+
+See :mod:`repro.interpose.tables` for the model.  The public surface:
+
+* :class:`InterpositionTable` / :class:`InterpositionEntry` /
+  :class:`PolicyKind` -- the policy vocabulary.
+* :data:`CLASSIC_TABLE` (``"classic"``) -- the historical monitoring surface,
+  bit-for-bit.
+* :data:`WIDE_TABLE` (``"wide"``) -- fork/exec, signal and socket families
+  actively monitored.
+* :func:`get_table` / :func:`register_table` / :func:`table_names` -- the
+  registry; unknown names raise :class:`InterpositionError`, which the CLI
+  renders as a clean exit-2 message.
+"""
+
+from repro.interpose.tables import (
+    CLASSIC_TABLE,
+    InterpositionEntry,
+    InterpositionError,
+    InterpositionTable,
+    PolicyKind,
+    WIDE_TABLE,
+    get_table,
+    register_table,
+    table_names,
+)
+
+__all__ = [
+    "CLASSIC_TABLE",
+    "InterpositionEntry",
+    "InterpositionError",
+    "InterpositionTable",
+    "PolicyKind",
+    "WIDE_TABLE",
+    "get_table",
+    "register_table",
+    "table_names",
+]

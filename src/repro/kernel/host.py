@@ -44,6 +44,24 @@ ACCESS_LOG = "/var/log/httpd/access_log"
 #: A root-only file that a successful UID attack would be able to read.
 SHADOW_FILE = "/etc/shadow"
 
+#: Default FTP command port (the mini-ftpd's control channel).
+FTP_PORT = 21
+
+#: Default FTP data port (one pre-connected data channel per client).
+FTP_DATA_PORT = 20
+
+#: Default ftpd configuration path.
+FTPD_CONF = "/etc/ftpd.conf"
+
+#: Default FTP site root the mini-ftpd serves from.
+FTP_ROOT = "/srv/ftp"
+
+#: Default ftpd error-log path.
+FTP_ERROR_LOG = "/var/log/ftpd/error_log"
+
+#: Default ftpd transfer-log path.
+FTP_TRANSFER_LOG = "/var/log/ftpd/transfer_log"
+
 
 @dataclasses.dataclass(frozen=True)
 class DocumentSpec:
@@ -180,6 +198,68 @@ def install_diversified_user_db(
         created.append((passwd_path, variant_passwd))
         created.append((group_path, variant_group))
     return created
+
+
+#: The standard FTP site content, sized like a small public mirror.
+DEFAULT_FTP_DOCUMENTS: tuple[DocumentSpec, ...] = (
+    DocumentSpec(f"{FTP_ROOT}/welcome.txt", 512),
+    DocumentSpec(f"{FTP_ROOT}/pub/readme.txt", 1024),
+    DocumentSpec(f"{FTP_ROOT}/pub/tools.tar", 8192),
+    DocumentSpec(f"{FTP_ROOT}/pub/dataset.bin", 16384),
+    DocumentSpec(f"{FTP_ROOT}/incoming/notes.txt", 2048),
+)
+
+#: Default ftpd configuration contents.  The server runs as the existing
+#: ``daemon`` account so installing the FTP site never perturbs the account
+#: databases the httpd experiments depend on byte-for-byte.
+DEFAULT_FTPD_CONF = f"""\
+# Simulated ftpd configuration
+Listen {FTP_PORT}
+DataPort {FTP_DATA_PORT}
+User daemon
+Group daemon
+FtpRoot {FTP_ROOT}
+ErrorLog {FTP_ERROR_LOG}
+TransferLog {FTP_TRANSFER_LOG}
+AdminUser root
+"""
+
+
+def install_ftp_site(
+    fs: FileSystem,
+    documents: Iterable[DocumentSpec] = DEFAULT_FTP_DOCUMENTS,
+    ftpd_conf: str = DEFAULT_FTPD_CONF,
+) -> None:
+    """Add the FTP site (root, configuration, logs, documents) to *fs*.
+
+    Deliberately additive: the standard host image is left byte-identical so
+    the httpd workloads keep producing the historical results, and hosts that
+    never run the ftpd never pay for its files.
+    """
+    for directory in (
+        "/srv",
+        FTP_ROOT,
+        f"{FTP_ROOT}/pub",
+        f"{FTP_ROOT}/incoming",
+        "/var/log/ftpd",
+    ):
+        if not fs.exists(directory):
+            fs.mkdir(directory, parents=True)
+    fs.create_file(FTPD_CONF, ftpd_conf, mode=0o644)
+    fs.create_file(FTP_ERROR_LOG, b"", mode=0o640)
+    fs.create_file(FTP_TRANSFER_LOG, b"", mode=0o640)
+    for document in documents:
+        fs.create_file(document.path, document.content(), mode=0o644)
+
+
+def build_ftp_host(
+    passwd_entries: Sequence[PasswdEntry] | None = None,
+    group_entries: Sequence[GroupEntry] | None = None,
+) -> SimulatedKernel:
+    """A standard host with the FTP site installed on top."""
+    kernel = build_standard_host(passwd_entries, group_entries)
+    install_ftp_site(kernel.fs)
+    return kernel
 
 
 def build_standard_host(

@@ -233,6 +233,26 @@ class OrbitScheme(PartitionScheme):
         )
 
 
+class FdOrbitScheme(OrbitScheme):
+    """Orbit partitioning over the file-descriptor value space.
+
+    Numerically identical to :class:`OrbitScheme` -- descriptors are small
+    non-negative integers, so the top-bits carve leaves every real
+    descriptor in partition 0's nominal range for any practical N -- but
+    registered as its own kind so fd diversity is nameable in scenarios and
+    swept by the invariant suite like every other family.  Variant *i*'s
+    user space holds descriptor ``fd + (i << shift)``; the fd variation
+    decodes arguments ahead of the kernel and re-expresses descriptor
+    results, so an fd value injected identically into every variant decodes
+    to N pairwise-different descriptors and diverges at first use.
+    """
+
+    kind = "fd-orbit"
+
+    def reexpression(self, index: int, domain: str = "fd"):
+        return super().reexpression(index, domain)
+
+
 class HighBitScheme(OrbitScheme):
     """The paper's scheme: two partitions split on the address high bit.
 
@@ -609,6 +629,7 @@ SchemeFactory = Callable[..., PartitionScheme]
 SCHEMES: dict[str, SchemeFactory] = {
     HighBitScheme.kind: HighBitScheme,
     OrbitScheme.kind: OrbitScheme,
+    FdOrbitScheme.kind: FdOrbitScheme,
     ExtendedOrbitScheme.kind: ExtendedOrbitScheme,
     XorMaskScheme.kind: XorMaskScheme.for_uids,
     KeyedOrbitScheme.kind: KeyedOrbitScheme,

@@ -298,6 +298,49 @@ class TestCLI:
         assert payload["alarms"] == 0
         assert payload["speedup"] > 1.0
 
+    def test_campaign_scenario_selects_the_serving_app(self, tmp_path, capsys):
+        path = self._write_scenario(
+            tmp_path,
+            {
+                "scenario": "detection-matrix",
+                "app": "ftpd",
+                "systems": [
+                    SINGLE_PROCESS_SPEC.to_dict(),
+                    UID_DIVERSITY_SPEC.to_dict(),
+                ],
+                "attacks": ["full-word-root-overwrite"],
+                "output": "json",
+            },
+        )
+        assert cli_main(["run", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The ftpd wire format carries the same attack to the same verdicts.
+        assert payload["matrix"]["full-word-root-overwrite"]["2-variant-uid"] == "detected"
+        assert payload["detection_rates"]["2-variant-uid"] == 1.0
+
+    def test_unknown_app_is_a_clean_error(self, tmp_path, capsys):
+        path = self._write_scenario(
+            tmp_path, {"scenario": "detection-matrix", "app": "gopherd"}
+        )
+        assert cli_main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown app" in err
+        assert "httpd" in err and "ftpd" in err
+
+    def test_unknown_interposition_table_is_a_clean_error(self, tmp_path, capsys):
+        path = self._write_scenario(
+            tmp_path,
+            {
+                "scenario": "detection-matrix",
+                "systems": [{"name": "x", "interposition": "narrow"}],
+                "attacks": ["full-word-root-overwrite"],
+            },
+        )
+        assert cli_main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown interposition table" in err
+        assert "classic" in err and "wide" in err
+
     def test_unknown_attack_name_is_a_clean_error(self, tmp_path, capsys):
         path = self._write_scenario(
             tmp_path, {"scenario": "detection-matrix", "attacks": ["no-such-attack"]}

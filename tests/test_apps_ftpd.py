@@ -1,0 +1,184 @@
+"""The mini-ftpd: the second serving workload.
+
+A command/data-channel file server carrying the same injected vulnerability
+as the mini-httpd (``SITE ANNOTATE`` is the FTP spelling of the
+``X-Annotation`` header, writing through the same unchecked 64-byte buffer
+into the worker-UID words).  These tests cover the protocol surface, the
+privilege-drop discipline per transfer, the vulnerability itself, and the
+ftpbench workload driver.
+"""
+
+import pytest
+
+from repro.api.spec import UID_DIVERSITY_SPEC
+from repro.apps.clients import ftpbench
+from repro.apps.ftpd import FtpConfig, MiniFtpd, parse_ftp_config
+from repro.attacks.payloads import (
+    format_ftp_commands,
+    ftp_benign_request,
+    ftp_uid_overwrite_payload,
+)
+from repro.core.nvariant import UIDCodec
+from repro.kernel.host import FTP_DATA_PORT, FTP_PORT, build_ftp_host
+from repro.kernel.libc import Libc
+from repro.kernel.scheduler import ProgramRunner
+
+
+class TestFtpConfig:
+    def test_defaults_parse_back(self):
+        config = parse_ftp_config(
+            "Listen 21\nDataPort 20\nUser daemon\nGroup daemon\n"
+            "FtpRoot /srv/ftp\nAdminUser root\n"
+        )
+        assert config.listen_port == 21 and config.data_port == 20
+        assert config.user == "daemon" and config.admin_user == "root"
+
+    def test_unknown_directives_are_ignored(self):
+        config = parse_ftp_config("PassivePorts 5000-5100\nListen 2121\n")
+        assert config.listen_port == 2121
+
+    def test_malformed_value_raises(self):
+        with pytest.raises(ValueError):
+            parse_ftp_config("Listen twenty-one\n")
+
+    def test_equal_ports_rejected(self):
+        with pytest.raises(ValueError):
+            FtpConfig(listen_port=21, data_port=21).validate()
+
+    def test_relative_root_rejected(self):
+        with pytest.raises(ValueError):
+            FtpConfig(ftp_root="srv/ftp").validate()
+
+
+def _serve(conversations, *, transformed=False, max_requests=None):
+    """Run one standalone ftpd over scripted conversations; returns
+    (kernel, server, run_result)."""
+    kernel = build_ftp_host()
+    for index, payload in enumerate(conversations):
+        kernel.client_connect(FTP_PORT, payload, client=f"c{index}")
+        kernel.client_connect(FTP_DATA_PORT, b"", client=f"c{index}-data")
+    process = kernel.spawn_process("ftpd")
+    server = MiniFtpd(
+        Libc(),
+        UIDCodec.identity(),
+        process.address_space,
+        transformed=transformed,
+        max_requests=max_requests,
+    )
+    run_result = ProgramRunner(kernel).run(process, server.run())
+    return kernel, server, run_result
+
+
+def _channel(kernel, client):
+    for connection in kernel.network.connections:
+        if connection.client == client:
+            return connection.response_bytes()
+    raise AssertionError(f"no connection for client {client!r}")
+
+
+class TestMiniFtpd:
+    def test_benign_transfer_round_trip(self):
+        # Budget 2: exhausting it on the only transfer would close the
+        # conversation before the trailing QUIT is acknowledged.
+        kernel, server, run_result = _serve(
+            [ftp_benign_request()], max_requests=2
+        )
+        assert run_result.exited_normally
+        command = _channel(kernel, "c0")
+        assert command.startswith(b"220 ")
+        assert b"331 " in command and b"230 " in command
+        assert b"150 " in command and b"226 " in command and b"221 " in command
+        data = _channel(kernel, "c0-data")
+        assert len(data) == 512  # /welcome.txt
+        assert server.report.requests_handled == 1
+
+    def test_transfers_drop_privileges_to_the_worker_account(self):
+        _, server, _ = _serve([ftp_benign_request()], max_requests=1)
+        (served,) = server.report.served
+        assert served.status == 226
+        assert served.euid_during_serve == 1  # the daemon account
+
+    def test_benign_annotation_is_acknowledged(self):
+        kernel, _, _ = _serve(
+            [ftp_benign_request(annotation="hello")], max_requests=1
+        )
+        command = _channel(kernel, "c0")
+        assert b"200 " in command and b"226 " in command
+
+    def test_missing_file_is_550(self):
+        kernel, server, _ = _serve(
+            [format_ftp_commands(["USER u", "PASS p", "RETR /nope.txt", "QUIT"])],
+            max_requests=1,
+        )
+        command = _channel(kernel, "c0")
+        assert b"550 " in command
+        (served,) = server.report.served
+        assert served.status == 550
+
+    def test_unknown_command_is_502(self):
+        kernel, _, _ = _serve(
+            [format_ftp_commands(["USER u", "PASS p", "MKD /tmp", "QUIT"])]
+        )
+        assert b"502 " in _channel(kernel, "c0")
+
+    def test_oversized_command_line_is_500(self):
+        kernel, _, _ = _serve(
+            [format_ftp_commands(["USER u", "PASS p", "RETR /" + "a" * 9000, "QUIT"])]
+        )
+        assert b"500 " in _channel(kernel, "c0")
+
+    def test_request_budget_limits_transfers(self):
+        conversations = [ftp_benign_request() for _ in range(3)]
+        _, server, run_result = _serve(conversations, max_requests=2)
+        assert run_result.exited_normally
+        assert server.report.requests_handled == 2
+
+    def test_annotation_overflow_reaches_root_and_leaks_the_shadow(self):
+        """The undefended compromise: the SITE ANNOTATE overflow zeroes the
+        worker UID, the next RETR never drops privilege, and the traversal
+        path walks out of /srv/ftp into /etc/shadow."""
+        kernel, server, run_result = _serve(
+            [ftp_uid_overwrite_payload(0)], max_requests=1
+        )
+        assert run_result.exited_normally
+        (served,) = server.report.served
+        assert served.status == 226
+        assert served.euid_during_serve == 0  # privilege drop defeated
+        assert b"root:$6$secrethash$" in _channel(kernel, "c0-data")
+
+
+class TestFtpBench:
+    def test_mix_expansion_is_deterministic_and_weighted(self):
+        workload = ftpbench.FtpBenchWorkload(total_requests=32)
+        paths = workload.request_paths()
+        assert len(paths) == 32
+        assert paths.count("/welcome.txt") > paths.count("/pub/dataset.bin")
+
+    def test_connection_batching(self):
+        workload = ftpbench.FtpBenchWorkload(
+            total_requests=6, transfers_per_connection=3
+        )
+        payloads = workload.connection_payloads()
+        assert len(payloads) == 2
+        assert payloads[0].count(b"RETR ") == 3
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            ftpbench.FtpBenchWorkload(total_requests=4, mix=()).request_paths()
+
+    def test_standalone_run_completes_the_mix(self):
+        workload = ftpbench.FtpBenchWorkload(total_requests=10)
+        measurement = ftpbench.drive_standalone(workload)
+        assert measurement.requests_completed == 10
+        assert measurement.status_counts.get(226) == 10
+        assert measurement.response_bytes > 0
+        assert measurement.alarms == 0
+
+    def test_nvariant_run_stays_equivalent_under_uid_diversity(self):
+        workload = ftpbench.FtpBenchWorkload(total_requests=8)
+        measurement, result = ftpbench.drive_nvariant(workload, UID_DIVERSITY_SPEC)
+        assert measurement.requests_completed == 8
+        assert measurement.alarms == 0
+        assert result.completed_normally
+        assert measurement.monitor_checks > 0
+        assert measurement.detection_calls > 0

@@ -37,6 +37,7 @@ from repro.api.spec import ExperimentSpec
 #: the PR-5 N-scaling sweep).
 EXPECTED_EXPERIMENTS = (
     "ablations",
+    "apps",
     "corpus",
     "detection",
     "entropy",
@@ -55,6 +56,7 @@ FAST_PARAMS = {
     "table3": {"requests": 10},
     "figure1": {"benign_requests": 4},
     "ablations": {"user_space_uses": 3, "requests": 2},
+    "apps": {"backend": "virtual", "requests": 6},
     "nscaling": {"min_variants": 2, "max_variants": 3, "requests": 6},
     "entropy": {"max_variants": 3, "max_key_bits": 4, "trials": 20},
     "corpus": {"records": 40, "workers": 4, "backend": "virtual"},
