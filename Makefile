@@ -15,6 +15,12 @@
 #   make check-corpus     -- the scenario-corpus tier: corpus/seed unit suites,
 #                            then generate a small corpus and run the corpus
 #                            experiment over it (scorecard must be all-pass)
+#   make check-load       -- the open-loop load tier: arrivals/admission and
+#                            checkpoint/migration unit suites, a seeded loadtest
+#                            smoke via the CLI, the migration round-trip
+#                            scenario, and the committed-figure freshness check
+#   make figures          -- re-render benchmarks/figures/ from the committed
+#                            benchmark results
 #   make experiments-smoke -- every registered experiment at its smallest spec,
 #                            via the CLI (claims gate the exit code)
 #   make bench            -- every benchmark, with timing; each writes
@@ -34,13 +40,13 @@ BENCHES := $(filter-out benchmarks/bench_diff.py,$(wildcard benchmarks/bench_*.p
 EXAMPLES := $(wildcard examples/*.py)
 
 .PHONY: test check check-parallel check-procs check-bench check-keyed \
-	check-corpus check-apps experiments-smoke bench bench-smoke \
-	bench-procpool-smoke bench-diff examples
+	check-corpus check-apps check-load experiments-smoke bench bench-smoke \
+	bench-procpool-smoke bench-diff figures examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: test experiments-smoke check-keyed check-corpus check-apps check-bench
+check: test experiments-smoke check-keyed check-corpus check-apps check-load check-bench
 	$(PYTHON) -m repro run examples/scenarios/detection_matrix.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/throughput.json > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/campaign.json --parallelism 8 > /dev/null
@@ -108,6 +114,21 @@ check-apps:
 	$(PYTHON) -m repro experiment apps --smoke > /dev/null
 	$(PYTHON) -m repro run examples/scenarios/ftpd_campaign.json > /dev/null
 	@echo "check-apps ok: interposition + fd-orbit + ftpd suites, parity, apps smoke"
+
+# The open-loop load gate: the arrivals/admission/latency/intake unit suite
+# and the checkpoint/restore/migration property suite, a seeded loadtest
+# experiment smoke through the CLI (claims gate the exit code), the example
+# scenario's bursty-overload + mid-run-migration round trip, and the check
+# that the committed figures match the committed benchmark results.
+check-load:
+	$(PYTHON) -m pytest -q tests/test_load_subsystem.py tests/test_load_checkpoint.py
+	$(PYTHON) -m repro experiment loadtest --smoke --seed 20080625 > /dev/null
+	$(PYTHON) -m repro run examples/scenarios/loadtest.json > /dev/null
+	$(PYTHON) benchmarks/render_figures.py --check
+	@echo "check-load ok: load suites + loadtest smoke + migration scenario + figures"
+
+figures:
+	$(PYTHON) benchmarks/render_figures.py
 
 # The benchmark trajectory gate: regenerate results/ in smoke mode (virtual-time
 # payloads are deterministic, so a clean tree reproduces the committed files),

@@ -174,9 +174,30 @@ def _check_ablations(result) -> None:
     assert not external.in_process_reexpression_detects_injection
 
 
+def _check_loadtest(result) -> None:
+    claims = result.claim_results()
+    assert all(claims.values()), claims
+    # Both backends swept the full grid and agreed byte for byte; the
+    # migration pair actually moved; the top-rate cells genuinely shed while
+    # the accept-all control absorbed everything into its tail.
+    assert result.backends == ("virtual", "process")
+    assert result.migration_moved["migrated"]
+    assert result.migration_base["response_digest"] == result.migration_moved["response_digest"]
+    top = result.multipliers[-1]
+    for spec in (f"{n}-variant-uid-orbit" for n in result.variant_counts):
+        accept = result.cell("virtual", spec, "accept-all", top)
+        bounded = result.cell("virtual", spec, "bounded-newest", top)
+        assert accept["shed"] == 0 and bounded["shed"] > 0
+        assert accept["queue_high_water"] > bounded["queue_high_water"]
+        assert bounded["latency"]["p99"] <= accept["latency"]["p99"]
+        # Sojourn percentiles are real measurements, not sentinel nulls.
+        assert accept["latency"]["p999"] is not None
+
+
 #: Structural assertions on the underlying result, by experiment name.  An
 #: experiment without an entry is still run and gated on its claims.
 EXTRA_CHECKS = {
+    "loadtest": _check_loadtest,
     "apps": _check_apps,
     "table1": _check_table1,
     "table2": _check_table2,

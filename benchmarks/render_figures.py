@@ -1,0 +1,226 @@
+"""Render committed BENCH_*.json trajectories as markdown figures.
+
+The benchmark JSON files under ``benchmarks/results/`` are the repo's
+performance record, but a reviewer should not have to eyeball nested JSON
+to see the N-scaling cost curve or the overload shed/latency trade-off.
+This tool renders the two trajectory-shaped benchmarks -- ``nscaling`` and
+``loadtest`` -- as markdown tables with ASCII bar charts, committed under
+``benchmarks/figures/``.
+
+Usage::
+
+    python benchmarks/render_figures.py          # (re)write the figures
+    python benchmarks/render_figures.py --check  # fail if figures are stale
+
+``--check`` is the CI hook: it renders in memory and diffs against the
+committed files, so a benchmark change that forgets to refresh the figures
+fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+RESULTS_DIR = BENCH_DIR / "results"
+FIGURES_DIR = BENCH_DIR / "figures"
+
+#: Width of the ASCII bars, in characters, at the largest value.
+BAR_WIDTH = 32
+
+
+def _load(name: str) -> dict:
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"render_figures: cannot read {path}: {exc}") from exc
+
+
+def _table(section: dict) -> list[dict]:
+    headers = section["headers"]
+    return [dict(zip(headers, row)) for row in section["rows"]]
+
+
+def _bar(value: float, peak: float) -> str:
+    if peak <= 0:
+        return ""
+    filled = max(1, round(BAR_WIDTH * value / peak)) if value > 0 else 0
+    return "#" * filled
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    lines.extend("| " + " | ".join(str(cell) for cell in row) + " |" for row in rows)
+    return lines
+
+
+def render_nscaling() -> str:
+    """The N-scaling cost curves: lockstep syscalls and modeled throughput."""
+    data = _load("nscaling")
+    table = next(s for s in data["sections"] if s.get("kind") == "table")
+    rows = _table(table)
+    syscall_peak = max(float(r["syscalls/request (uid)"]) for r in rows)
+    kbps_peak = max(float(r["saturated kbps (model)"]) for r in rows)
+    lines = [
+        "# N-scaling trajectory",
+        "",
+        f"Rendered from `benchmarks/results/BENCH_nscaling.json` ({data['title']}).",
+        "",
+        "## Lockstep cost: syscalls per request vs variant count",
+        "",
+    ]
+    lines += _markdown_table(
+        ["N", "syscalls/request", "", "guarantees"],
+        [
+            [
+                r["N"],
+                r["syscalls/request (uid)"],
+                f"`{_bar(float(r['syscalls/request (uid)']), syscall_peak)}`",
+                f"uid={r['UID guarantee']}, address={r['address guarantee']}",
+            ]
+            for r in rows
+        ],
+    )
+    lines += [
+        "",
+        "## Modeled saturated throughput vs variant count",
+        "",
+    ]
+    lines += _markdown_table(
+        ["N", "saturated kbps (model)", ""],
+        [
+            [
+                r["N"],
+                r["saturated kbps (model)"],
+                f"`{_bar(float(r['saturated kbps (model)']), kbps_peak)}`",
+            ]
+            for r in rows
+        ],
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_loadtest() -> str:
+    """The overload trade-off: shed fraction and p99 sojourn vs offered load."""
+    data = _load("loadtest")
+    table = next(s for s in data["sections"] if s.get("kind") == "table")
+    rows = _table(table)
+    keyvalues = next(s for s in data["sections"] if s.get("kind") == "key-values")
+    configurations = sorted({r["configuration"] for r in rows})
+    policies = []
+    for r in rows:
+        if r["admission"] not in policies:
+            policies.append(r["admission"])
+    loads = []
+    for r in rows:
+        if r["load"] not in loads:
+            loads.append(r["load"])
+
+    def cell(configuration: str, policy: str, load: str) -> dict:
+        return next(
+            r
+            for r in rows
+            if r["configuration"] == configuration
+            and r["admission"] == policy
+            and r["load"] == load
+        )
+
+    lines = [
+        "# Open-loop load trajectory",
+        "",
+        f"Rendered from `benchmarks/results/BENCH_loadtest.json` ({data['title']}).",
+        "",
+    ]
+    for configuration in configurations:
+        p99_peak = max(
+            float(cell(configuration, policy, load)["p99"])
+            for policy in policies
+            for load in loads
+            if cell(configuration, policy, load)["p99"] != "-"
+        )
+        lines += [f"## {configuration}: shed fraction vs offered load", ""]
+        lines += _markdown_table(
+            ["admission", *loads],
+            [
+                [
+                    policy,
+                    *(
+                        cell(configuration, policy, load)["shed/offered"]
+                        for load in loads
+                    ),
+                ]
+                for policy in policies
+            ],
+        )
+        lines += ["", f"## {configuration}: admitted p99 sojourn (ticks) vs offered load", ""]
+        p99_rows = []
+        for policy in policies:
+            for load in loads:
+                entry = cell(configuration, policy, load)
+                if entry["p99"] == "-":
+                    p99_rows.append([policy, load, "-", "`-`"])
+                else:
+                    p99_rows.append(
+                        [
+                            policy,
+                            load,
+                            entry["p99"],
+                            f"`{_bar(float(entry['p99']), p99_peak)}`",
+                        ]
+                    )
+        lines += _markdown_table(["admission", "load", "p99", ""], p99_rows)
+        lines.append("")
+    lines += ["## Calibration and migration", ""]
+    lines += _markdown_table(
+        ["key", "value"], [[key, value] for key, value in keyvalues["pairs"]]
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+FIGURES = {
+    "nscaling.md": render_nscaling,
+    "loadtest.md": render_loadtest,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed figures match the results files (no writes)",
+    )
+    arguments = parser.parse_args(argv)
+    stale = []
+    FIGURES_DIR.mkdir(parents=True, exist_ok=True)
+    for filename, render in FIGURES.items():
+        content = render()
+        path = FIGURES_DIR / filename
+        if arguments.check:
+            if not path.exists() or path.read_text() != content:
+                stale.append(filename)
+        else:
+            path.write_text(content)
+            print(f"wrote {path.relative_to(BENCH_DIR.parent)}")
+    if stale:
+        print(
+            "render_figures: stale figures: "
+            + ", ".join(stale)
+            + "; run `python benchmarks/render_figures.py`",
+            file=sys.stderr,
+        )
+        return 1
+    if arguments.check:
+        print("render_figures: figures match the committed benchmark results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

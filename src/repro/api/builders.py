@@ -58,8 +58,14 @@ def build_session(
     name: Optional[str] = None,
     registry: Optional[VariationRegistry] = None,
 ) -> NVariantSession:
-    """Build one resumable lockstep session from a spec."""
-    return NVariantSession(
+    """Build one resumable lockstep session from a spec.
+
+    The spec is stamped onto the session (``session.spec``) so downstream
+    consumers that must rebuild an equivalent session -- checkpoint/migration
+    in :mod:`repro.load.checkpoint` -- can serialize the construction recipe
+    instead of live objects.
+    """
+    session = NVariantSession(
         kernel,
         program_factory,
         build_variations(spec, registry=registry),
@@ -69,6 +75,8 @@ def build_session(
         name=name if name is not None else spec.name,
         interposition=spec.interposition,
     )
+    session.spec = spec
+    return session
 
 
 def build_system(

@@ -62,7 +62,14 @@ from repro.api.registry import VariationRegistryError, registry
 from repro.apps.catalog import UnknownAppError, get_app
 from repro.corpus.records import CorpusError
 from repro.interpose import InterpositionError
-from repro.api.spec import ExperimentSpec, FleetSpec, STANDARD_SYSTEM_SPECS, SystemSpec
+from repro.load import LoadError, run_loadtest
+from repro.api.spec import (
+    ExperimentSpec,
+    FleetSpec,
+    STANDARD_SYSTEM_SPECS,
+    SystemSpec,
+    uid_orbit_spec,
+)
 from repro.engine.campaign import CampaignHaltPolicy
 from repro.engine.procpool import WorkerError
 
@@ -357,6 +364,87 @@ def _run_experiment_scenario(data: Mapping[str, Any], output: str) -> tuple[int,
     return _render_experiment_report(report, output)
 
 
+def _run_loadtest_scenario(data: Mapping[str, Any], output: str) -> tuple[int, str]:
+    """One open-loop load run: arrivals x admission against a serving system.
+
+    Unknown arrival-process or admission-policy names raise the load
+    subsystem's registry errors, which ``main`` renders as exit-2 ``error:``
+    lines listing the registered names -- same contract as the interposition
+    tables and the app catalog.
+    """
+    if "system" in data:
+        try:
+            spec = SystemSpec.from_dict(data["system"])
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(f"bad system spec in scenario: {exc}") from exc
+    else:
+        spec = uid_orbit_spec(2)
+    rate = data.get("rate", 8.0)
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool) or rate <= 0:
+        raise ScenarioError(f"rate must be a positive number, got {rate!r}")
+    for key in ("arrival_params", "admission_params"):
+        if key in data and not isinstance(data[key], Mapping):
+            raise ScenarioError(f"'{key}' must be a JSON object, got {data[key]!r}")
+    attacks = data.get("attacks", ())
+    if not isinstance(attacks, Sequence) or isinstance(attacks, (str, bytes)):
+        raise ScenarioError(f"'attacks' must be a list of attack kinds, got {attacks!r}")
+    migrate_after = data.get("migrate_after")
+    if migrate_after is not None and (
+        not isinstance(migrate_after, int)
+        or isinstance(migrate_after, bool)
+        or migrate_after < 0
+    ):
+        raise ScenarioError(
+            f"migrate_after must be a non-negative integer, got {migrate_after!r}"
+        )
+    result = run_loadtest(
+        spec,
+        app=_resolve_app(data),
+        arrival=data.get("arrival", "poisson"),
+        rate=float(rate),
+        requests=_resolve_positive_int(data, "requests", 16),
+        admission=data.get("admission", "accept-all"),
+        admission_params=data.get("admission_params"),
+        arrival_params=data.get("arrival_params"),
+        seed=_resolve_seed(data),
+        attacks=tuple(attacks),
+        migrate_after=migrate_after,
+    )
+    if output == "json":
+        return 0, json.dumps(
+            {"scenario": "loadtest", **result.to_dict()}, indent=2
+        )
+    latency = result.latency
+    lines = [
+        f"open-loop load on {result.spec_name} ({result.app}, "
+        f"{result.arrival} arrivals at {result.rate:g} req/ktick, "
+        f"{result.admission} admission)",
+        f"  offered {result.offered}, admitted {result.admitted}, "
+        f"shed {result.shed}, completed {result.completed} "
+        f"over {result.bursts} service bursts",
+        f"  queue high water {result.queue_high_water}, alarms {result.alarms}"
+        + (", migrated mid-run" if result.migrated else ""),
+        "  sojourn ticks: "
+        + ", ".join(
+            f"{label} {_finite_or_none(value) if _finite_or_none(value) is not None else 'n/a'}"
+            for label, value in (
+                ("p50", latency.p50),
+                ("p90", latency.p90),
+                ("p99", latency.p99),
+                ("p99.9", latency.p999),
+            )
+        ),
+    ]
+    for outcome in result.attack_outcomes:
+        status = (
+            "halted"
+            if outcome["halted"]
+            else "completed" if outcome["completed"] else "shed"
+        )
+        lines.append(f"  attack {outcome['attack']}: {status}")
+    return 0, "\n".join(lines)
+
+
 #: Runner, the top-level keys the kind accepts ("scenario", "description" and
 #: "output" are always allowed), and its legal output formats.
 SCENARIO_RUNNERS = {
@@ -378,6 +466,14 @@ SCENARIO_RUNNERS = {
         _run_experiment_scenario,
         frozenset({"experiment", "params"}),
         EXPERIMENT_OUTPUT_FORMATS,
+    ),
+    "loadtest": (
+        _run_loadtest_scenario,
+        frozenset(
+            {"system", "app", "arrival", "arrival_params", "rate", "requests",
+             "admission", "admission_params", "seed", "attacks", "migrate_after"}
+        ),
+        OUTPUT_FORMATS,
     ),
 }
 
@@ -721,6 +817,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         CorpusError,
         InterpositionError,
         UnknownAppError,
+        LoadError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -567,6 +567,36 @@ experiments.register(
     smoke_params={"backend": "virtual", "requests": 8},
 )
 experiments.register(
+    "loadtest",
+    f"{_EXPERIMENTS}.loadtest:experiment",
+    description=(
+        "Open-loop load: seeded arrival processes x admission policies x N "
+        "with sojourn percentiles, graceful-overload claims, and a session "
+        "checkpoint/migration parity pair, per campaign backend"
+    ),
+    parameters=(
+        ExperimentParameter(
+            "backend", str, "both", "execution tier: virtual, process, or both"
+        ),
+        ExperimentParameter("workers", int, 4, "process-pool worker count"),
+        ExperimentParameter("requests", int, 24, "benign requests per sweep cell"),
+        ExperimentParameter(
+            "rate_steps", int, 4, "offered-load multipliers swept (prefix of 0.5/1/2/4x)"
+        ),
+        ExperimentParameter("max_variants", int, 3, "largest variant count swept"),
+        ExperimentParameter(
+            "capacity", int, 3, "bounded-queue depth and token-bucket burst"
+        ),
+        ExperimentParameter("seed", int, 20080625, "root seed every cell derives from"),
+    ),
+    smoke_params={
+        "backend": "virtual",
+        "requests": 12,
+        "rate_steps": 3,
+        "max_variants": 2,
+    },
+)
+experiments.register(
     "ablations",
     f"{_EXPERIMENTS}.ablations:experiment",
     description="Design-choice ablations: detection calls, reexpression mask, unshared files",

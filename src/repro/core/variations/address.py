@@ -156,3 +156,11 @@ class KeyedAddressPartitioning(AddressPartitioning):
         scheme on demand, so no cached state needs refreshing.
         """
         self.scheme.rotate()
+
+    def install_secret(self, values: "Sequence[int]") -> None:
+        """Adopt a checkpointed secret layout (see :mod:`repro.load.checkpoint`).
+
+        Everything address-side is derived from the scheme on demand, so the
+        scheme-level install is the whole job.
+        """
+        self.scheme.install_secret(values)

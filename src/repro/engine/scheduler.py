@@ -116,10 +116,17 @@ class MultiSessionEngine:
         halt_policy: HaltPolicy = HaltPolicy.PER_SESSION,
         max_turns: int = 10_000_000,
         name: str = "engine",
+        intake: Optional[object] = None,
     ):
         self.name = name
         self.halt_policy = halt_policy
         self.max_turns = max_turns
+        #: Optional admission policy guarding :meth:`offer` (any object with
+        #: the repro.load.admission protocol: ``offer(now)`` returning a
+        #: decision with ``admitted``, plus ``released()``).  Typed loosely --
+        #: the engine must stay importable without the load subsystem.
+        self.intake = intake
+        self._intake_admitted: set[str] = set()
         self._sessions: list[NVariantSession] = []
         for session in sessions:
             self.add_session(session)
@@ -130,6 +137,39 @@ class MultiSessionEngine:
             raise ValueError(f"duplicate session name {session.name!r}")
         self._sessions.append(session)
         return session
+
+    def offer(self, session: NVariantSession) -> bool:
+        """Admission-controlled intake: add *session* unless the policy sheds it.
+
+        Without an intake policy this is :meth:`add_session` returning True.
+        With one, the policy sees the engine's current occupancy as its clock
+        (engine intake is load-ordered, not time-ordered) and may shed the
+        offer; an accepted session is released back to the policy when it
+        reaches a terminal state during :meth:`run`.  A drop-oldest decision
+        evicts the oldest admitted session that has not started a round yet
+        (an in-flight session cannot be unwound); with none available the
+        offer is still honoured.
+        """
+        if self.intake is None:
+            self.add_session(session)
+            return True
+        decision = self.intake.offer(len(self._sessions))
+        if not decision.admitted:
+            return False
+        if getattr(decision, "evict_oldest", False):
+            for existing in self._sessions:
+                if (
+                    existing.name in self._intake_admitted
+                    and existing.rounds == 0
+                    and not existing.done
+                ):
+                    self._sessions.remove(existing)
+                    self._intake_admitted.discard(existing.name)
+                    self.intake.released()
+                    break
+        self.add_session(session)
+        self._intake_admitted.add(session.name)
+        return True
 
     @property
     def sessions(self) -> list[NVariantSession]:
@@ -150,6 +190,10 @@ class MultiSessionEngine:
                 state = session.step()
                 if state is SessionState.HALTED and self.halt_policy is HaltPolicy.HALT_ALL:
                     self.halt_all()
+            for session in active:
+                if session.done and session.name in self._intake_admitted:
+                    self._intake_admitted.discard(session.name)
+                    self.intake.released()
             active = [s for s in active if not s.done]
         return self._build_result(turns)
 

@@ -101,6 +101,13 @@ class NVariantSession:
         self.rounds = 0
         self.state = SessionState.RUNNING
         self._ticks_consumed = 0
+        #: Provenance stamps used by checkpoint/migration (repro.load): the
+        #: declarative SystemSpec this session was built from (set by
+        #: repro.api.builders.build_session) and the serving-app configuration
+        #: (set by repro.load.checkpoint.build_serving_session).  Sessions
+        #: wired by hand carry None and cannot be checkpointed.
+        self.spec = None
+        self.serving = None
 
         self._unshared_registry = UnsharedFileRegistry(num_variants)
         self._unshared_registry.register_mapping(

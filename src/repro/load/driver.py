@@ -1,0 +1,564 @@
+"""The open-loop load driver: arrivals x admission x serving bursts.
+
+This is where the three load primitives meet the serving apps.  An arrival
+process emits request ticks on a *global* virtual timeline; the driver
+delivers each due arrival to the admission policy and, when admitted,
+queues its wire bytes onto the session's kernel.  The session serves in
+**bursts**: the mini servers exit when their accept queue runs dry (a real
+accept loop would block; the simulated one observes EAGAIN once and
+drains), so whenever the session completes with arrivals still outstanding
+the driver fast-forwards the kernel clock to the next arrival, restarts the
+session *without* rotating keys, and keeps serving.  Alarms, rounds and
+consumed ticks are accumulated across bursts; sojourn times are measured on
+the global timeline, so idle gaps and migrations never corrupt latency.
+
+Burst boundaries are also the quiescent points where
+:mod:`repro.load.checkpoint` applies: with ``migrate_after=k`` the driver
+checkpoints at the first boundary after *k* completions, restores onto a
+brand-new kernel, and continues there -- the global timeline carries over
+via a base offset, and the run result records whether the hand-off
+happened.  A migrated run must serve byte-identical responses and reach the
+same detection outcomes as an unmigrated one; the ``loadtest`` experiment
+asserts exactly that.
+
+``run_loadtest_payload`` is the process-backend entry point (the
+:data:`LOADTEST_RUNNER` module:function path shipped in
+:class:`~repro.engine.procpool.ProcessJob` payloads); with a seed, both
+backends reproduce the same result dict byte for byte because every random
+draw flows through :func:`repro.api.seeding.derive_seed`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.api.seeding import derive_seed, seeded_spec
+from repro.api.spec import SystemSpec
+from repro.apps.catalog import ServingApp, get_app
+from repro.engine.session import NVariantSession, SessionState
+from repro.load.admission import AdmissionPolicy, create_admission_policy
+from repro.load.arrivals import LoadError, create_arrival_process
+from repro.load.checkpoint import (
+    build_serving_session,
+    checkpoint,
+    keyed_secrets,
+    restore,
+)
+from repro.load.latency import LatencyHistogram
+
+#: The process-backend runner path, in ProcessJob "module:function" form.
+LOADTEST_RUNNER = "repro.load.driver:run_loadtest_payload"
+
+#: Root seed default, shared with the corpus/entropy experiments.
+DEFAULT_SEED = 20080625
+
+#: Attack kinds the open-loop driver can append to a benign arrival stream.
+ATTACK_KINDS = ("uid-overwrite", "pointer-overwrite")
+
+#: Address planted by the pointer-overwrite attack: valid in at most one
+#: variant's partition under any address scheme, so dereference diverges.
+_POINTER_TARGET = 0x1000
+
+#: A single request may be re-queued across at most this many bursts before
+#: the driver declares the run wedged (a served request never re-queues).
+_MAX_REQUEUES = 64
+
+
+@dataclasses.dataclass
+class RequestRecord:
+    """One arrival's life: offered -> admitted/shed -> completed/aborted."""
+
+    index: int
+    arrival: int
+    payload: bytes
+    kind: str = "benign"
+    attack: Optional[str] = None
+    admitted: bool = False
+    shed: bool = False
+    evicted: bool = False
+    aborted: bool = False
+    completed_at: Optional[int] = None
+    response: bytes = b""
+    requeues: int = 0
+    connections: tuple = ()
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclasses.dataclass
+class LoadRunResult:
+    """Everything one open-loop run measured, JSON-round-trippable."""
+
+    spec_name: str
+    app: str
+    arrival: str
+    admission: str
+    rate: float
+    requests: int
+    offered: int
+    admitted: int
+    shed: int
+    evicted: int
+    aborted: int
+    completed: int
+    queue_high_water: int
+    latency: LatencyHistogram
+    alarms: int
+    bursts: int
+    rounds: int
+    virtual_elapsed: int
+    end_tick: int
+    migrated: bool
+    attack_outcomes: tuple[dict[str, Any], ...] = ()
+    response_digest: str = ""
+    secret_digest: str = ""
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered requests the policy turned away."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-ready payload (the backend-parity unit)."""
+        return {
+            "admission": self.admission,
+            "admitted": self.admitted,
+            "alarms": self.alarms,
+            "app": self.app,
+            "arrival": self.arrival,
+            "attack_outcomes": [dict(sorted(o.items())) for o in self.attack_outcomes],
+            "bursts": self.bursts,
+            "completed": self.completed,
+            "end_tick": self.end_tick,
+            "evicted": self.evicted,
+            "aborted": self.aborted,
+            "latency": self.latency.to_dict(),
+            "migrated": self.migrated,
+            "offered": self.offered,
+            "queue_high_water": self.queue_high_water,
+            "rate": round(self.rate, 6),
+            "requests": self.requests,
+            "response_digest": self.response_digest,
+            "rounds": self.rounds,
+            "secret_digest": self.secret_digest,
+            "shed": self.shed,
+            "spec": self.spec_name,
+            "virtual_elapsed": self.virtual_elapsed,
+        }
+
+
+def _attack_payload(app: ServingApp, kind: str) -> bytes:
+    if kind == "uid-overwrite":
+        return app.uid_overwrite()
+    if kind == "pointer-overwrite":
+        return app.pointer_overwrite(_POINTER_TARGET)
+    raise LoadError(
+        f"unknown attack kind {kind!r}; known kinds: {', '.join(ATTACK_KINDS)}"
+    )
+
+
+def _build_records(
+    app: ServingApp,
+    arrival: str,
+    rate: float,
+    requests: int,
+    rng: random.Random,
+    arrival_params: Mapping[str, Any],
+    attacks: Sequence[str],
+) -> list[RequestRecord]:
+    process = create_arrival_process(arrival, rate, rng=rng, **dict(arrival_params))
+    ticks = process.schedule(requests)
+    records = []
+    for index, tick in enumerate(ticks):
+        # Alternate the two benign paths so consecutive requests exercise
+        # distinct server-side work, like the webbench mix does.
+        payload = (
+            app.benign_payload()
+            if index % 2 == 0
+            else app.benign_payload(path=app.alternate_path)
+        )
+        records.append(RequestRecord(index=index, arrival=tick, payload=payload))
+    # Attacks trail the benign stream, one mean gap apart, so benign latency
+    # statistics are never polluted by halted bursts.
+    gap = max(1, int(round(process.mean_gap)))
+    last = ticks[-1] if ticks else 0
+    for offset, kind in enumerate(attacks):
+        records.append(
+            RequestRecord(
+                index=len(records),
+                arrival=last + (offset + 1) * gap,
+                payload=_attack_payload(app, kind),
+                kind="attack",
+                attack=kind,
+            )
+        )
+    return records
+
+
+class _OpenLoopRun:
+    """Mutable state of one driver run (kept off the public API)."""
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        app: ServingApp,
+        policy: AdmissionPolicy,
+        records: list[RequestRecord],
+        *,
+        multiplex: int,
+        migrate_after: Optional[int],
+        max_bursts: int,
+        name: str,
+    ):
+        self.spec = spec
+        self.app = app
+        self.policy = policy
+        self.records = records
+        self.multiplex = multiplex
+        self.migrate_after = migrate_after
+        self.max_bursts = max_bursts
+        self.name = name
+
+        self.session = build_serving_session(
+            spec, app, name=name, max_requests=None, multiplex=multiplex
+        )
+        self.base = 0  # global tick = base + kernel.clock (survives migration)
+        self.delivered = 0
+        self.pending: list[RequestRecord] = []
+        self.latency = LatencyHistogram()
+        self.bursts = 1
+        self.rounds = 0
+        self.ticks = 0
+        self.alarms = 0
+        self.completed = 0
+        self.migrated = False
+
+    # -- timeline ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.base + self.session.kernel.clock
+
+    def _connect(self, record: RequestRecord) -> None:
+        kernel = self.session.kernel
+        before = len(kernel.network.connections)
+        self.app.connect(kernel, record.payload, client=f"c{record.index}")
+        record.connections = tuple(kernel.network.connections[before:])
+
+    def _deliver_due(self) -> None:
+        while self.delivered < len(self.records):
+            record = self.records[self.delivered]
+            if record.arrival > self.now:
+                break
+            self.delivered += 1
+            decision = self.policy.offer(record.arrival)
+            if not decision.admitted:
+                record.shed = True
+                continue
+            record.admitted = True
+            if decision.evict_oldest:
+                self._evict_oldest(record)
+                if not record.admitted:
+                    continue
+            self._connect(record)
+            self.pending.append(record)
+
+    def _evict_oldest(self, incoming: RequestRecord) -> None:
+        """Head-drop: evict the oldest not-yet-accepted queued request.
+
+        With every queued entry already in service (nothing left to unwind),
+        the freshly admitted arrival itself is the victim -- drop-oldest
+        degenerates to drop-newest at that point.
+        """
+        listeners = self.session.kernel.network.listeners
+        for record in self.pending:
+            if any(
+                connection in listener.pending
+                for listener in listeners.values()
+                for connection in record.connections
+            ):
+                self._scrub_connections(record)
+                self.pending.remove(record)
+                record.evicted = True
+                record.shed = True
+                self.policy.released()
+                return
+        incoming.evicted = True
+        incoming.shed = True
+        self.policy.released()
+        # The incoming record never enters pending; flag it so _deliver_due's
+        # caller skips the connect.
+        incoming.admitted = False
+
+    def _scrub_connections(self, record: RequestRecord) -> None:
+        """Remove a record's queued connections from every accept queue."""
+        for listener in self.session.kernel.network.listeners.values():
+            for connection in record.connections:
+                try:
+                    listener.pending.remove(connection)
+                except ValueError:
+                    pass
+
+    def _harvest_completions(self) -> None:
+        for record in list(self.pending):
+            primary = record.connections[0] if record.connections else None
+            if primary is None:
+                continue
+            if primary.closed_by_server and primary.response_bytes():
+                record.completed_at = self.now
+                record.response = primary.response_bytes()
+                self.pending.remove(record)
+                self.policy.released()
+                self.completed += 1
+                self.latency.add(record.completed_at - record.arrival)
+
+    # -- burst boundaries -------------------------------------------------------
+
+    def _absorb_burst(self) -> None:
+        """Accumulate the finished burst's counters; mark a halt's victim."""
+        self.rounds += self.session.rounds
+        self.ticks += self.session.virtual_elapsed
+        self.alarms += len(self.session.monitor.alarms)
+        self._harvest_completions()
+        if self.session.state is SessionState.HALTED and self.pending:
+            victim = self._in_service_record()
+            self._scrub_connections(victim)
+            self.pending.remove(victim)
+            victim.aborted = True
+            self.policy.released()
+
+    def _in_service_record(self) -> RequestRecord:
+        """The request the halted burst was serving: oldest accepted, else oldest."""
+        listeners = self.session.kernel.network.listeners
+        for record in self.pending:
+            queued = any(
+                connection in listener.pending
+                for listener in listeners.values()
+                for connection in record.connections
+            )
+            if not queued:
+                return record
+        return self.pending[0]
+
+    def _resolved(self) -> bool:
+        return self.delivered >= len(self.records) and not self.pending
+
+    def _next_burst(self) -> None:
+        """Requeue survivors, optionally migrate, restart, fast-forward."""
+        # Catch up the timeline until something is actually waiting to serve.
+        while not self.pending and self.delivered < len(self.records):
+            target = self.records[self.delivered].arrival
+            if target > self.now:
+                self.session.kernel.clock += target - self.now
+            self._deliver_due()
+        if self._resolved():
+            return
+        survivors = list(self.pending)
+        for record in survivors:
+            record.requeues += 1
+            if record.requeues > _MAX_REQUEUES:
+                raise LoadError(
+                    f"request {record.index} re-queued {record.requeues} times "
+                    "without completing; the run is wedged"
+                )
+            self._scrub_connections(record)
+        # A halted burst never closed its listen socket; demote any still-
+        # bound listener to a placeholder so the next burst can rebind.
+        for listener in self.session.kernel.network.listeners.values():
+            listener.bound = False
+        if (
+            self.migrate_after is not None
+            and not self.migrated
+            and self.completed >= self.migrate_after
+        ):
+            cp = checkpoint(self.session)
+            old_clock = self.session.kernel.clock
+            self.session = restore(cp, name=f"{self.name}-migrated")
+            self.base += old_clock
+            self.migrated = True
+        else:
+            self.session.restart(rotate_keys=False)
+        for record in survivors:
+            self._connect(record)
+        self.bursts += 1
+        if self.bursts > self.max_bursts:
+            raise LoadError(
+                f"open-loop run exceeded {self.max_bursts} service bursts"
+            )
+
+    # -- the loop ---------------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            self._deliver_due()
+            if self.session.done:
+                self._absorb_burst()
+                if self._resolved():
+                    break
+                self._next_burst()
+                if self._resolved():
+                    break
+                continue
+            self.session.step()
+            self._harvest_completions()
+
+
+def run_loadtest(
+    spec: SystemSpec,
+    *,
+    app: str = "httpd",
+    arrival: str = "poisson",
+    rate: float = 8.0,
+    requests: int = 32,
+    admission: str = "accept-all",
+    admission_params: Optional[Mapping[str, Any]] = None,
+    arrival_params: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = DEFAULT_SEED,
+    multiplex: int = 1,
+    attacks: Sequence[str] = (),
+    migrate_after: Optional[int] = None,
+    max_bursts: int = 4096,
+    name: str = "loadtest",
+) -> LoadRunResult:
+    """Drive one open-loop load cell to resolution and measure it.
+
+    Every arrival is offered to the admission policy at its scheduled global
+    tick; admitted requests are served across as many service bursts as the
+    load shape requires.  The run resolves when each request is completed,
+    shed, or aborted by a monitor halt.  With a *seed*, the whole run --
+    arrival schedule, keyed-scheme draws, and therefore every byte of every
+    response -- is deterministic and backend-independent.
+    """
+    if requests < 0:
+        raise LoadError(f"requests must be >= 0, got {requests}")
+    if multiplex < 1:
+        raise LoadError(f"multiplex must be >= 1, got {multiplex}")
+    for kind in attacks:
+        if kind not in ATTACK_KINDS:
+            raise LoadError(
+                f"unknown attack kind {kind!r}; known kinds: {', '.join(ATTACK_KINDS)}"
+            )
+    app_record = get_app(app)
+    spec = seeded_spec(spec, seed)
+    if seed is not None:
+        rng = random.Random(derive_seed(seed, "loadtest", spec.name, app, arrival))
+    else:
+        rng = random.Random()
+    policy = create_admission_policy(admission, **dict(admission_params or {}))
+    records = _build_records(
+        app_record, arrival, rate, requests, rng, arrival_params or {}, attacks
+    )
+    run = _OpenLoopRun(
+        spec,
+        app_record,
+        policy,
+        records,
+        multiplex=multiplex,
+        migrate_after=migrate_after,
+        max_bursts=max_bursts,
+        name=name,
+    )
+    run.run()
+
+    digest = hashlib.sha256()
+    for record in records:
+        if record.completed:
+            digest.update(f"{record.index}:".encode())
+            digest.update(record.response)
+    secret = hashlib.sha256(repr(keyed_secrets(run.session)).encode()).hexdigest()
+    stats = policy.stats
+    return LoadRunResult(
+        spec_name=spec.name,
+        app=app_record.name,
+        arrival=arrival,
+        admission=admission,
+        rate=rate,
+        requests=requests,
+        offered=stats.offered,
+        admitted=stats.admitted,
+        shed=stats.shed,
+        evicted=sum(1 for r in records if r.evicted),
+        aborted=sum(1 for r in records if r.aborted),
+        completed=run.completed,
+        queue_high_water=stats.queue_high_water,
+        latency=run.latency,
+        alarms=run.alarms,
+        bursts=run.bursts,
+        rounds=run.rounds,
+        virtual_elapsed=run.ticks,
+        end_tick=run.now,
+        migrated=run.migrated,
+        attack_outcomes=tuple(
+            {
+                "attack": r.attack,
+                "halted": r.aborted,
+                "completed": r.completed,
+                "shed": r.shed,
+            }
+            for r in records
+            if r.kind == "attack"
+        ),
+        response_digest=digest.hexdigest(),
+        secret_digest=secret,
+    )
+
+
+#: The payload keys :func:`run_loadtest_payload` understands.
+_PAYLOAD_KEYS = frozenset(
+    {
+        "spec",
+        "app",
+        "arrival",
+        "rate",
+        "requests",
+        "admission",
+        "admission_params",
+        "arrival_params",
+        "seed",
+        "multiplex",
+        "attacks",
+        "migrate_after",
+        "name",
+    }
+)
+
+
+def run_loadtest_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker-side cell runner: a picklable dict in, a result mapping out.
+
+    The contract is :data:`repro.engine.procpool.RESULT_KEYS`; ``value`` is
+    :meth:`LoadRunResult.to_dict`, which is what the experiment's backend-
+    parity claim compares byte for byte.
+    """
+    unknown = sorted(set(payload) - _PAYLOAD_KEYS)
+    if unknown:
+        raise LoadError(f"unknown loadtest payload keys: {', '.join(unknown)}")
+    if "spec" not in payload:
+        raise LoadError("loadtest payload needs a 'spec' entry")
+    spec = SystemSpec.from_dict(payload["spec"])
+    result = run_loadtest(
+        spec,
+        app=payload.get("app", "httpd"),
+        arrival=payload.get("arrival", "poisson"),
+        rate=payload.get("rate", 8.0),
+        requests=payload.get("requests", 32),
+        admission=payload.get("admission", "accept-all"),
+        admission_params=payload.get("admission_params"),
+        arrival_params=payload.get("arrival_params"),
+        seed=payload.get("seed", DEFAULT_SEED),
+        multiplex=payload.get("multiplex", 1),
+        attacks=tuple(payload.get("attacks", ())),
+        migrate_after=payload.get("migrate_after"),
+        name=payload.get("name", "loadtest"),
+    )
+    return {
+        "state": "completed",
+        "rounds": result.rounds,
+        "virtual_elapsed": result.virtual_elapsed,
+        "value": result.to_dict(),
+    }

@@ -1,0 +1,110 @@
+"""Sojourn-time accounting: arrival-to-completion histograms in virtual ticks.
+
+Open-loop claims are tail claims: the interesting number is not mean
+throughput but what the slowest admitted percentile experienced.  The
+histogram here records each completed request's sojourn (completion tick
+minus arrival tick, both on the global virtual timeline that survives
+migration) and reports nearest-rank percentiles.  Per the PR-6 sentinel
+convention, every statistic over an empty histogram is ``nan`` -- "no
+request completed" must never render as a zero-latency triumph; the JSON
+layers map ``nan`` to ``null``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def _nan_or(value: Optional[float]) -> float:
+    return math.nan if value is None else float(value)
+
+
+class LatencyHistogram:
+    """Exact sojourn-time distribution over one run's completed requests."""
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+        self._sorted = True
+
+    def add(self, sojourn_ticks: int) -> None:
+        """Record one completed request's arrival-to-completion time."""
+        if sojourn_ticks < 0:
+            raise ValueError(f"sojourn must be >= 0 ticks, got {sojourn_ticks}")
+        self._samples.append(int(sojourn_ticks))
+        self._sorted = False
+
+    def _ordered(self) -> list[int]:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        return self._samples
+
+    @property
+    def count(self) -> int:
+        """Number of completed requests measured."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean sojourn in ticks (``nan`` when unmeasured)."""
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def min(self) -> float:
+        """Fastest measured sojourn (``nan`` when unmeasured)."""
+        return _nan_or(self._ordered()[0] if self._samples else None)
+
+    @property
+    def max(self) -> float:
+        """Slowest measured sojourn (``nan`` when unmeasured)."""
+        return _nan_or(self._ordered()[-1] if self._samples else None)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile in ticks (``nan`` when unmeasured)."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = self._ordered()
+        if not ordered:
+            return math.nan
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return float(ordered[rank - 1])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p90(self) -> float:
+        return self.percentile(90)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary; unmeasured statistics become ``None``.
+
+        (JSON has no spelling for ``nan``; ``null`` is the wire form of the
+        sentinel, exactly as the CLI's ``_finite_or_none`` renders it.)
+        """
+
+        def _json(value: float):
+            return value if math.isfinite(value) else None
+
+        return {
+            "count": self.count,
+            "max": _json(self.max),
+            "mean": _json(round(self.mean, 3) if self._samples else math.nan),
+            "min": _json(self.min),
+            "p50": _json(self.p50),
+            "p90": _json(self.p90),
+            "p99": _json(self.p99),
+            "p999": _json(self.p999),
+        }

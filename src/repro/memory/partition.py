@@ -65,7 +65,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 #: Width of the partitioned value spaces (32-bit addresses and uid_t).
 VALUE_BITS = 32
@@ -456,6 +456,18 @@ class KeyedScheme:
         """The current secret, as a tuple (for tests and attacker oracles)."""
         raise NotImplementedError
 
+    def install_secret(self, values: "Sequence[int]") -> None:
+        """Adopt a previously drawn secret verbatim (checkpoint restore).
+
+        The inverse of :meth:`secret`: a restored session must continue under
+        the *same* key layout the checkpointed session was running, not a
+        fresh draw, or every in-flight concrete representation would decode
+        differently after migration.  Implementations validate the values
+        against the scheme's invariants (distinctness, range) and raise
+        :class:`PartitionSchemeError` on a corrupt or mismatched secret.
+        """
+        raise NotImplementedError
+
 
 class KeyedOrbitScheme(KeyedScheme, PartitionScheme):
     """Orbit partitioning with *secret* slice assignments.
@@ -507,6 +519,25 @@ class KeyedOrbitScheme(KeyedScheme, PartitionScheme):
     def secret(self) -> tuple[int, ...]:
         return self.slices
 
+    def _check_slices(self, values: Sequence[int]) -> tuple[int, ...]:
+        slices = tuple(int(v) for v in values)
+        if len(slices) != self.num_partitions:
+            raise PartitionSchemeError(
+                f"{self.kind} secret wants {self.num_partitions} slices, "
+                f"got {len(slices)}"
+            )
+        if len(set(slices)) != len(slices):
+            raise PartitionSchemeError(f"{self.kind} slices must be distinct")
+        if any(not 0 <= s < (1 << self.key_bits) for s in slices):
+            raise PartitionSchemeError(
+                f"{self.kind} slices must lie in [0, 2^{self.key_bits})"
+            )
+        return slices
+
+    def install_secret(self, values: Sequence[int]) -> None:
+        self.slices = self._check_slices(values)
+        self._slice_owner = {s: i for i, s in enumerate(self.slices)}
+
     def base_of(self, index: int) -> int:
         self.check_index(index)
         return self.slices[index] << self.shift
@@ -549,6 +580,23 @@ class KeyedAddressScheme(KeyedOrbitScheme):
 
     def secret(self) -> tuple[int, ...]:
         return self.slices + self.offsets
+
+    def install_secret(self, values: Sequence[int]) -> None:
+        values = tuple(int(v) for v in values)
+        if len(values) != 2 * self.num_partitions:
+            raise PartitionSchemeError(
+                f"{self.kind} secret wants {self.num_partitions} slices plus "
+                f"{self.num_partitions} offsets, got {len(values)} values"
+            )
+        slices, offsets = values[: self.num_partitions], values[self.num_partitions :]
+        span = max(1, (1 << self.shift) >> 2)
+        if any(not 0 <= offset < span for offset in offsets):
+            raise PartitionSchemeError(
+                f"{self.kind} offsets must lie in [0, {span})"
+            )
+        self.slices = self._check_slices(slices)
+        self._slice_owner = {s: i for i, s in enumerate(self.slices)}
+        self.offsets = offsets
 
     def base_of(self, index: int) -> int:
         self.check_index(index)
@@ -610,6 +658,21 @@ class KeyedXorMaskScheme(KeyedScheme, XorMaskScheme):
 
     def secret(self) -> tuple[int, ...]:
         return self.masks
+
+    def install_secret(self, values: Sequence[int]) -> None:
+        masks = tuple(int(v) for v in values)
+        if len(masks) != self.num_partitions:
+            raise PartitionSchemeError(
+                f"{self.kind} secret wants {self.num_partitions} masks, "
+                f"got {len(masks)}"
+            )
+        if len(set(masks)) != len(masks):
+            raise PartitionSchemeError(f"{self.kind} masks must be pairwise distinct")
+        if any(not 0 <= mask < (1 << self.key_bits) for mask in masks):
+            raise PartitionSchemeError(
+                f"{self.kind} masks must lie in [0, 2^{self.key_bits})"
+            )
+        self.masks = masks
 
     def describe(self) -> str:
         return (

@@ -43,6 +43,7 @@ EXPECTED_EXPERIMENTS = (
     "entropy",
     "figure1",
     "figure2",
+    "loadtest",
     "nscaling",
     "section4",
     "table1",
